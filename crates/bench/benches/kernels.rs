@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks for ArrayTrack's hot kernels.
+//!
+//! The paper's latency budget (§4.4) hinges on the server-side processing
+//! time `Tp`; these benches pin down where it goes: eigendecomposition,
+//! MUSIC spectrum scan, multi-AP grid synthesis, packet detection, and the
+//! channel simulator itself.
+
+use at_channel::geometry::pt;
+use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+use at_core::music::{music_analysis_from_rxx, MusicConfig};
+use at_core::synthesis::{localize, ApObservation, ApPose, SearchRegion};
+use at_core::AoaSpectrum;
+use at_dsp::detector::MatchedFilter;
+use at_dsp::preamble::{Preamble, SAMPLE_RATE_HZ};
+use at_dsp::SnapshotBlock;
+use at_linalg::{eigh, CMatrix, CVector, Complex64};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A deterministic 8×8 Hermitian PSD matrix shaped like a real Rxx.
+fn sample_rxx() -> CMatrix {
+    let mut r = CMatrix::zeros(8, 8);
+    for k in 0..3 {
+        let theta = 0.7 + k as f64;
+        let v = CVector::from_fn(8, |m| {
+            Complex64::cis(m as f64 * std::f64::consts::PI * theta.cos())
+        });
+        r.add_outer_assign(&v, 1.0 / (k + 1) as f64);
+    }
+    for i in 0..8 {
+        r[(i, i)] += Complex64::real(0.01);
+    }
+    r
+}
+
+/// A deterministic snapshot block for one source.
+fn sample_block() -> SnapshotBlock {
+    SnapshotBlock::new(
+        (0..8)
+            .map(|m| {
+                (0..10)
+                    .map(|t| {
+                        Complex64::cis(
+                            m as f64 * 1.1 + t as f64 * 0.3,
+                        )
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_eig(c: &mut Criterion) {
+    let rxx = sample_rxx();
+    c.bench_function("eigh_8x8_hermitian", |b| {
+        b.iter(|| eigh(black_box(&rxx)).unwrap())
+    });
+}
+
+fn bench_music(c: &mut Criterion) {
+    let rxx = sample_rxx();
+    let cfg = MusicConfig::default();
+    c.bench_function("music_spectrum_720_bins", |b| {
+        b.iter(|| music_analysis_from_rxx(black_box(&rxx), &cfg))
+    });
+}
+
+fn bench_correlation_matrix(c: &mut Criterion) {
+    let block = sample_block();
+    c.bench_function("correlation_matrix_8x10", |b| {
+        b.iter(|| black_box(&block).correlation_matrix())
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    // Six APs around a 20×10 m region, 10 cm grid (the paper's setting).
+    let spectrum = AoaSpectrum::from_fn(720, |t| {
+        (-((t - 1.0) / 0.1).powi(2)).exp() + 1e-4
+    });
+    let observations: Vec<ApObservation> = (0..6)
+        .map(|i| ApObservation {
+            pose: ApPose {
+                center: pt(i as f64 * 4.0, if i % 2 == 0 { 0.0 } else { 10.0 }),
+                axis_angle: i as f64 * 0.5,
+            },
+            spectrum: spectrum.clone(),
+        })
+        .collect();
+    let region = SearchRegion::new(pt(0.0, 0.0), pt(20.0, 10.0));
+    c.bench_function("synthesis_grid_10cm_6aps", |b| {
+        b.iter(|| localize(black_box(&observations), region))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    use at_core::estimators::{bartlett_spectrum_from_rxx, mvdr_spectrum_from_rxx};
+    let rxx = sample_rxx();
+    c.bench_function("bartlett_spectrum_720_bins", |b| {
+        b.iter(|| bartlett_spectrum_from_rxx(black_box(&rxx), 720))
+    });
+    c.bench_function("mvdr_spectrum_720_bins", |b| {
+        b.iter(|| mvdr_spectrum_from_rxx(black_box(&rxx), 720))
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    use at_core::tracking::{Tracker, TrackerConfig};
+    c.bench_function("kalman_update", |b| {
+        let mut t = Tracker::new(TrackerConfig::default());
+        t.update(pt(0.0, 0.0), 0.1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            t.update(pt((i % 100) as f64 * 0.01, 0.0), 0.1)
+        })
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let p = Preamble::new();
+    let mf = MatchedFilter::new(&p, SAMPLE_RATE_HZ).with_threshold(0.15);
+    let mut rx = vec![Complex64::ZERO; 200];
+    rx.extend(p.reference(SAMPLE_RATE_HZ));
+    rx.extend(vec![Complex64::ZERO; 200]);
+    c.bench_function("matched_filter_1040_samples", |b| {
+        b.iter(|| mf.detect(black_box(&rx)))
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let fp = at_testbed::office::office_floorplan();
+    let sim = ChannelSim::new(&fp);
+    let array = AntennaArray::ula(pt(6.0, 23.0), 0.55, 8).with_offrow_element();
+    let tx = Transmitter::at(pt(20.0, 12.0));
+    c.bench_function("channel_trace_office", |b| {
+        b.iter(|| sim.paths(black_box(&tx), &array))
+    });
+    let preamble = Preamble::new();
+    c.bench_function("channel_receive_10_snapshots", |b| {
+        b.iter(|| {
+            sim.receive(
+                black_box(&tx),
+                &array,
+                |t| preamble.eval(t),
+                at_dsp::preamble::LTS0_START_S,
+                10.0 / SAMPLE_RATE_HZ,
+                SAMPLE_RATE_HZ,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_eig, bench_music, bench_correlation_matrix,
+              bench_synthesis, bench_detector, bench_channel,
+              bench_estimators, bench_tracker
+}
+criterion_main!(benches);

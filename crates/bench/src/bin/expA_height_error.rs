@@ -1,0 +1,4 @@
+//! Binary wrapper for the `height_appendix` experiment (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    at_bench::experiments::height_appendix::run()
+}

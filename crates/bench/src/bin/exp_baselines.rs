@@ -1,0 +1,4 @@
+//! Binary wrapper for the `baselines` experiment (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    at_bench::experiments::baselines::run()
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig20` experiment (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    at_bench::experiments::fig20::run()
+}

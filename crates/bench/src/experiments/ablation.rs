@@ -1,0 +1,125 @@
+//! Ablation study over ArrayTrack's design choices (DESIGN.md's extras).
+//!
+//! Toggles each pipeline stage independently at 3 and 6 APs:
+//! geometry weighting, symmetry removal, multipath suppression (frames),
+//! smoothing group count, forward–backward smoothing, and grid pitch —
+//! quantifying what each contributes to the headline numbers.
+
+use crate::report::{f3, Report};
+use at_core::music::MusicConfig;
+use at_testbed::{compute_all_spectra, localization_sweep, Deployment, ExperimentConfig};
+
+struct Variant {
+    label: &'static str,
+    cfg: ExperimentConfig,
+}
+
+/// Runs the ablations.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("ablation")?;
+    report.section("Pipeline ablations (DESIGN.md extras)");
+
+    let dep = Deployment::office(42);
+    let base = ExperimentConfig::arraytrack(42);
+
+    let mut variants = vec![Variant {
+        label: "full ArrayTrack",
+        cfg: base,
+    }];
+    {
+        let mut c = base;
+        c.pipeline.weighting = false;
+        variants.push(Variant {
+            label: "- geometry weighting",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.pipeline.symmetry = at_core::pipeline::SymmetryMode::Off;
+        c.capture.offrow = false;
+        variants.push(Variant {
+            label: "- symmetry resolution",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.pipeline.symmetry = at_core::pipeline::SymmetryMode::WholeSide;
+        variants.push(Variant {
+            label: "whole-side symmetry removal (paper-literal)",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.frames = 1;
+        variants.push(Variant {
+            label: "- multipath suppression (1 frame)",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.pipeline.music = MusicConfig {
+            smoothing_groups: 1,
+            ..MusicConfig::default()
+        };
+        variants.push(Variant {
+            label: "- spatial smoothing (NG=1)",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.pipeline.music = MusicConfig {
+            smoothing_groups: 3,
+            ..MusicConfig::default()
+        };
+        variants.push(Variant {
+            label: "NG=3",
+            cfg: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.pipeline.music = MusicConfig {
+            forward_backward: true,
+            ..MusicConfig::default()
+        };
+        variants.push(Variant {
+            label: "+ forward-backward smoothing",
+            cfg: c,
+        });
+    }
+
+    let sizes = [3usize, 6];
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for v in &variants {
+        let spectra = compute_all_spectra(&dep, &v.cfg);
+        let stats = localization_sweep(&dep, &spectra, &sizes, v.cfg.grid_step, v.cfg.threads);
+        rows.push(vec![
+            v.label.to_string(),
+            f3(stats[&3].median()),
+            f3(stats[&3].mean()),
+            f3(stats[&6].median()),
+            f3(stats[&6].mean()),
+        ]);
+        for &k in &sizes {
+            csv_rows.push(vec![
+                v.label.to_string(),
+                k.to_string(),
+                f3(stats[&k].median()),
+                f3(stats[&k].mean()),
+            ]);
+        }
+    }
+    report.table(
+        &["variant", "3AP med(m)", "3AP mean(m)", "6AP med(m)", "6AP mean(m)"],
+        &rows,
+    );
+    report.csv("results", &["variant", "aps", "median_m", "mean_m"], csv_rows)?;
+    report.line("expected: removing symmetry removal or suppression hurts most at 3 APs");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Figure 7: the effect of spatial smoothing on AoA spectra.
+//!
+//! The paper shows MUSIC spectra for a near-LoS client with no smoothing
+//! and with `NG ∈ {2, 3, 4}` subarray groups: without smoothing, coherent
+//! multipath produces false peaks; more groups denoise but shrink the
+//! effective aperture. We reproduce the sweep for one LoS office client
+//! and report peak structure per `NG`.
+
+use crate::report::{f1, f3, Report};
+use at_channel::Transmitter;
+use at_core::music::{music_analysis, MusicConfig};
+use at_testbed::{CaptureConfig, Deployment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("fig07")?;
+    report.section("Spatial smoothing sweep (paper Fig. 7)");
+
+    let dep = Deployment::office(42);
+    // A client close to AP 1 and in its line of sight.
+    let ap = 0;
+    let client = at_channel::geometry::pt(9.0, 16.5);
+    let truth = dep.aps[ap].pose.bearing_to(client).to_degrees();
+    report.line(format!(
+        "client at {client:?}, AP {} at {:?}, ground-truth bearing {:.1}°",
+        ap + 1,
+        dep.aps[ap].pose.center,
+        truth
+    ));
+
+    let cfg = CaptureConfig {
+        offrow: false,
+        ..CaptureConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let tx = Transmitter::at(client);
+    let block = dep.capture_frame(ap, client, &tx, &cfg, &mut rng);
+
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for ng in 1..=4usize {
+        let analysis = music_analysis(
+            &block,
+            &MusicConfig {
+                smoothing_groups: ng,
+                ..MusicConfig::default()
+            },
+        );
+        let spec = analysis.spectrum.normalized();
+        let peaks = spec.find_peaks(0.1);
+        let top: Vec<String> = peaks
+            .iter()
+            .take(4)
+            .map(|p| format!("{:.1}°({:.2})", p.theta.to_degrees(), p.power))
+            .collect();
+        let direct_visible = spec.has_peak_near(truth.to_radians(), 5f64.to_radians(), 0.1)
+            || spec.has_peak_near(
+                std::f64::consts::TAU - truth.to_radians(),
+                5f64.to_radians(),
+                0.1,
+            );
+        rows.push(vec![
+            ng.to_string(),
+            analysis.effective_antennas.to_string(),
+            peaks.len().to_string(),
+            direct_visible.to_string(),
+            top.join(" "),
+        ]);
+        for (i, v) in spec.values().iter().enumerate() {
+            // Store only the unmirrored half for compactness.
+            if i <= spec.bins() / 2 {
+                csv_rows.push(vec![
+                    ng.to_string(),
+                    f1(spec.theta_of(i).to_degrees()),
+                    f3(*v),
+                ]);
+            }
+        }
+    }
+    report.table(
+        &["NG", "eff_antennas", "peaks", "direct_visible", "top peaks (deg, power)"],
+        &rows,
+    );
+    report.csv("spectra", &["ng", "theta_deg", "power"], csv_rows)?;
+    report.line("paper: NG=1 distorted; NG=2 good compromise; NG≥3 loses direct-path detail");
+    Ok(())
+}

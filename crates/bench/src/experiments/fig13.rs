@@ -1,0 +1,75 @@
+//! Figure 13: CDFs of raw (unoptimized) location error for 3–6 APs.
+//!
+//! Plain MUSIC + smoothing spectra (no weighting, symmetry removal, or
+//! suppression), fused with eq. 8 across every AP subset of each size and
+//! all 41 clients. The paper reports medians 75/~40/~30/26 cm and means
+//! 317/…/38 cm from three to six APs — the headline shape being a large
+//! mean (mirror-ambiguity outliers) that shrinks dramatically with AP
+//! count.
+
+use crate::report::{f3, thin_cdf, Report};
+use at_testbed::{compute_all_spectra, localization_sweep, Deployment, ExperimentConfig};
+
+/// Runs the experiment and returns the per-size stats for reuse.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("fig13")?;
+    report.section("Static localization, unoptimized spectra (paper Fig. 13)");
+
+    let dep = Deployment::office(42);
+    let cfg = ExperimentConfig::unoptimized(42);
+    report.line(format!(
+        "{} clients x {} APs, {} snapshot(s)/frame, grid {} m",
+        dep.clients.len(),
+        dep.aps.len(),
+        cfg.capture.snapshots,
+        cfg.grid_step
+    ));
+
+    let spectra = compute_all_spectra(&dep, &cfg);
+    let sizes = [3usize, 4, 5, 6];
+    let stats = localization_sweep(&dep, &spectra, &sizes, cfg.grid_step, cfg.threads);
+
+    let paper_median = [0.75, f64::NAN, f64::NAN, 0.26];
+    let paper_mean = [3.17, f64::NAN, f64::NAN, 0.38];
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (i, (&k, s)) in stats.iter().enumerate() {
+        rows.push(vec![
+            k.to_string(),
+            s.len().to_string(),
+            f3(s.median()),
+            f3(s.mean()),
+            f3(s.percentile(95.0)),
+            if paper_median[i].is_nan() {
+                "-".into()
+            } else {
+                f3(paper_median[i])
+            },
+            if paper_mean[i].is_nan() {
+                "-".into()
+            } else {
+                f3(paper_mean[i])
+            },
+        ]);
+        for (e, f) in thin_cdf(&s.cdf_points(), 200) {
+            csv_rows.push(vec![k.to_string(), f3(e), f3(f)]);
+        }
+    }
+    report.table(
+        &["APs", "n", "median(m)", "mean(m)", "p95(m)", "paper med", "paper mean"],
+        &rows,
+    );
+    report.csv("cdf", &["aps", "error_m", "cdf"], csv_rows)?;
+
+    // Shape checks the reproduction must satisfy.
+    let med3 = stats[&3].median();
+    let med6 = stats[&6].median();
+    let mean3 = stats[&3].mean();
+    let mean6 = stats[&6].mean();
+    report.line(format!(
+        "shape: median 3AP {med3:.2} m > median 6AP {med6:.2} m: {}; mean 3AP {mean3:.2} m >> mean 6AP {mean6:.2} m: {}",
+        med3 > med6,
+        mean3 > 2.0 * mean6
+    ));
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Figure 17: direct-path survival behind concrete pillars.
+//!
+//! Three clients in line with an AP, blocked by zero, one, and two
+//! pillars. The paper's finding: even behind two pillars the direct-path
+//! signal remains among the three strongest AoA peaks, which is why the
+//! synthesis step still localizes blocked clients.
+
+use crate::report::{f1, f3, Report};
+use at_channel::floorplan::Pillar;
+use at_channel::geometry::{pt, seg};
+use at_channel::{AntennaArray, ChannelSim, Floorplan, Material, Transmitter};
+use at_core::music::{music_analysis, MusicConfig};
+use at_dsp::awgn::NoiseSource;
+use at_dsp::preamble::{Preamble, LTS0_START_S};
+use at_dsp::SnapshotBlock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("fig17")?;
+    report.section("Direct path vs pillar blocking (paper Fig. 17)");
+
+    // A bespoke scene: AP at origin, client 12 m away on a known bearing,
+    // a reflector wall to create competing peaks, and 0/1/2 pillars placed
+    // on the direct line.
+    let ap_center = pt(0.0, 0.0);
+    let array = AntennaArray::ula(ap_center, 0.0, 8);
+    let client = array.point_at(60f64.to_radians(), 12.0);
+    let truth_deg: f64 = 60.0;
+
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for pillars in 0..=2usize {
+        let mut fp = Floorplan::empty()
+            .with_wall(seg(pt(-30.0, 14.0), pt(40.0, 14.0)), Material::CONCRETE)
+            .with_wall(seg(pt(-30.0, -6.0), pt(40.0, -6.0)), Material::METAL)
+            .with_wall(seg(pt(16.0, -6.0), pt(16.0, 14.0)), Material::DRYWALL);
+        // Place pillars at 1/3 and 2/3 of the direct line.
+        for k in 0..pillars {
+            let f = (k as f64 + 1.0) / 3.0;
+            let c = pt(client.x * f, client.y * f);
+            fp = fp.with_pillar(Pillar::concrete(c, 0.35));
+        }
+        let sim = ChannelSim::new(&fp);
+        let tx = Transmitter::at(client);
+        let p = Preamble::new();
+        let mut rng = StdRng::seed_from_u64(17 + pillars as u64);
+        let mut streams = sim.receive(
+            &tx,
+            &array,
+            |t| p.eval(t),
+            LTS0_START_S + 0.5e-6,
+            10.0 / at_dsp::SAMPLE_RATE_HZ,
+            at_dsp::SAMPLE_RATE_HZ,
+        );
+        let noise = NoiseSource::with_power(1e-10);
+        for s in &mut streams {
+            noise.corrupt(s, &mut rng);
+        }
+        let block = SnapshotBlock::new(streams);
+        let analysis = music_analysis(&block, &MusicConfig::default());
+        let spec = analysis.spectrum.normalized();
+        let peaks = spec.find_peaks(0.02);
+        // Rank of the direct-path peak among all peaks (mirror-aware).
+        let rank = peaks.iter().position(|pk| {
+            let d = at_channel::geometry::angle_diff(pk.theta, truth_deg.to_radians());
+            let dm = at_channel::geometry::angle_diff(
+                pk.theta,
+                std::f64::consts::TAU - truth_deg.to_radians(),
+            );
+            d.min(dm) < 5f64.to_radians()
+        });
+        let direct_power = rank.map(|r| peaks[r].power).unwrap_or(0.0);
+        rows.push(vec![
+            pillars.to_string(),
+            peaks.len().to_string(),
+            rank.map(|r| (r + 1).to_string()).unwrap_or("-".into()),
+            f3(direct_power),
+            (rank.map(|r| r < 3).unwrap_or(false)).to_string(),
+        ]);
+        for i in 0..=spec.bins() / 2 {
+            csv_rows.push(vec![
+                pillars.to_string(),
+                f1(spec.theta_of(i).to_degrees()),
+                f3(spec.values()[i]),
+            ]);
+        }
+    }
+    report.table(
+        &["pillars", "peaks", "direct rank", "direct power", "in top-3"],
+        &rows,
+    );
+    report.csv("spectra", &["pillars", "theta_deg", "power"], csv_rows)?;
+    report.line("paper: direct path weakens with blocking but stays in the top three peaks");
+    Ok(())
+}

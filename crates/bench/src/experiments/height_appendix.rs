@@ -1,0 +1,91 @@
+//! Appendix A: bearing error from the AP–client height difference.
+//!
+//! Closed-form `(cos φ)⁻¹ − 1` plus a simulation cross-check: the measured
+//! bearing shift of the full MUSIC pipeline for a client 1.5 m below the
+//! AP at 5 m and 10 m.
+
+use crate::report::{f1, f3, Report};
+use at_channel::height::bearing_error_fraction;
+use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+use at_core::music::{music_spectrum, MusicConfig};
+use at_dsp::awgn::NoiseSource;
+use at_dsp::SnapshotBlock;
+use at_linalg::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measures the strongest-peak bearing for a client at the given
+/// horizontal distance and height difference.
+fn measured_bearing(distance: f64, dh: f64, seed: u64) -> f64 {
+    let fp = Floorplan::empty();
+    let sim = ChannelSim::new(&fp);
+    let array = AntennaArray::ula(at_channel::geometry::pt(0.0, 0.0), 0.0, 8);
+    let theta = 55f64.to_radians();
+    let client = array.point_at(theta, distance);
+    let tx = Transmitter::at(client).with_height(array.height - dh);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut streams = sim.receive(
+        &tx,
+        &array,
+        |t| Complex64::cis(std::f64::consts::TAU * 1e6 * t),
+        0.0,
+        10.0 / at_dsp::SAMPLE_RATE_HZ,
+        at_dsp::SAMPLE_RATE_HZ,
+    );
+    let noise = NoiseSource::with_power(1e-12);
+    for s in &mut streams {
+        noise.corrupt(s, &mut rng);
+    }
+    let block = SnapshotBlock::new(streams);
+    let spec = music_spectrum(&block, &MusicConfig::default());
+    let p = spec.find_peaks(0.5)[0].theta.to_degrees();
+    if p > 180.0 {
+        360.0 - p
+    } else {
+        p
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("heightA")?;
+    report.section("Height-difference bearing error (paper Appendix A)");
+
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (d, paper_pct) in [(5.0f64, 4.0f64), (10.0, 1.0)] {
+        let closed = bearing_error_fraction(1.5, d) * 100.0;
+        let flat = measured_bearing(d, 0.0, 9000 + d as u64);
+        let tall = measured_bearing(d, 1.5, 9100 + d as u64);
+        // Convert the bearing shift into the paper's phase-difference error
+        // metric: Δ(cosθ)/cosθ.
+        let sim_pct = ((tall.to_radians().cos() / flat.to_radians().cos()) - 1.0).abs() * 100.0;
+        rows.push(vec![
+            f1(d),
+            f3(closed),
+            f3(sim_pct),
+            f1(paper_pct),
+            f1(flat),
+            f1(tall),
+        ]);
+        csv_rows.push(vec![f1(d), f3(closed), f3(sim_pct), f1(paper_pct)]);
+    }
+    report.table(
+        &[
+            "distance(m)",
+            "closed-form err %",
+            "simulated err %",
+            "paper %",
+            "bearing flat(°)",
+            "bearing Δh=1.5m(°)",
+        ],
+        &rows,
+    );
+    report.csv(
+        "errors",
+        &["distance_m", "closed_form_pct", "simulated_pct", "paper_pct"],
+        csv_rows,
+    )?;
+    report.line("shape: % error shrinks with distance; a 1.5 m offset costs only a few percent");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! §4.4 / Figure 21: the end-to-end latency budget.
+//!
+//! `Td` and `Tt` are deterministic protocol arithmetic; `Tl` is the
+//! paper's measured WARP↔PC bus latency (modeled); `Tp` we *measure* on
+//! this machine by timing the actual Rust pipeline — MUSIC for six APs
+//! plus the full grid-search + hill-climbing synthesis the paper timed at
+//! 100 ms in Matlab on a 2.80 GHz Xeon.
+
+use crate::report::{f3, Report};
+use at_core::latency::{frame_airtime, traffic_bps, transfer_time, LatencyModel};
+use at_core::pipeline::{process_frame, ApPipelineConfig};
+use at_core::synthesis::{localize, ApObservation};
+use at_testbed::{CaptureConfig, Deployment};
+use at_channel::Transmitter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("latency")?;
+    report.section("End-to-end latency budget (paper §4.4, Fig. 21)");
+
+    // Measure Tp natively: 6 AP spectra + synthesis at the paper's 10 cm
+    // grid over the full office.
+    let dep = Deployment::office(42);
+    let cfg = CaptureConfig::default();
+    let client = dep.clients[10];
+    let mut rng = StdRng::seed_from_u64(4242);
+    let tx = Transmitter::at(client);
+    let blocks: Vec<_> = (0..6)
+        .map(|ap| dep.capture_frame(ap, client, &tx, &cfg, &mut rng))
+        .collect();
+
+    let t_music = Instant::now();
+    let observations: Vec<ApObservation> = blocks
+        .iter()
+        .enumerate()
+        .map(|(ap, b)| ApObservation {
+            pose: dep.aps[ap].pose,
+            spectrum: process_frame(b, &ApPipelineConfig::arraytrack(8)),
+        })
+        .collect();
+    let music_s = t_music.elapsed().as_secs_f64();
+
+    let t_synth = Instant::now();
+    let region = dep.search_region(); // 10 cm grid, as in the paper
+    let est = localize(&observations, region);
+    let synth_s = t_synth.elapsed().as_secs_f64();
+    let tp = music_s + synth_s;
+
+    report.line(format!(
+        "measured Tp on this machine: MUSIC x6 = {:.1} ms, synthesis (10 cm grid + hill climb) = {:.1} ms, total {:.1} ms",
+        music_s * 1e3,
+        synth_s * 1e3,
+        tp * 1e3
+    ));
+    report.line(format!(
+        "location estimate error in this run: {:.2} m",
+        est.position.distance(client)
+    ));
+
+    let airtime = frame_airtime(1500, 54e6);
+    let model = LatencyModel::paper_defaults(airtime, tp);
+    let rows = vec![
+        vec!["T (1500 B @ 54 Mbit/s)".into(), f3(airtime * 1e3), "0.222".into()],
+        vec!["Td detection".into(), f3(model.detection * 1e3), "0.016".into()],
+        vec![
+            "Tt transfer (10 smp x 8 radios @ 1 Mbit/s)".into(),
+            f3(transfer_time(10, 8, 1e6) * 1e3),
+            "2.56".into(),
+        ],
+        vec!["Tl bus".into(), f3(model.bus * 1e3), "30".into()],
+        vec!["Tp processing".into(), f3(tp * 1e3), "100 (Matlab/Xeon)".into()],
+        vec![
+            "added latency (Td+Tt+Tl+Tp-T)".into(),
+            f3(model.added_latency().as_secs_f64() * 1e3),
+            "~130 (,~100 excl. bus)".into(),
+        ],
+    ];
+    report.table(&["stage", "measured/modeled (ms)", "paper (ms)"], &rows);
+    report.csv(
+        "budget",
+        &["stage", "ms"],
+        rows.iter().map(|r| vec![r[0].clone(), r[1].clone()]),
+    )?;
+
+    report.line(format!(
+        "ArrayTrack traffic overhead at 100 ms refresh: {:.4} Mbit/s (paper: 0.0256)",
+        traffic_bps(10, 8, 0.1) / 1e6
+    ));
+    Ok(())
+}

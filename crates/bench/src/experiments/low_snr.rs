@@ -1,0 +1,60 @@
+//! §4.3.4: packet detection rate vs. SNR.
+//!
+//! The full-preamble matched filter (all ten short + two long training
+//! symbols) against classic Schmidl–Cox, swept from +10 dB down to −15 dB.
+//! The paper's claim: detection works down to −10 dB SNR.
+
+use crate::report::{f1, f3, Report};
+use at_dsp::awgn::NoiseSource;
+use at_dsp::detector::{MatchedFilter, SchmidlCox};
+use at_dsp::preamble::{Preamble, SAMPLE_RATE_HZ};
+use at_linalg::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("low_snr")?;
+    report.section("Packet detection rate vs SNR (paper §4.3.4)");
+
+    let p = Preamble::new();
+    let mf = MatchedFilter::new(&p, SAMPLE_RATE_HZ).with_threshold(0.15);
+    let sc = SchmidlCox::new(SAMPLE_RATE_HZ);
+    let trials = 40;
+    let pad = 400usize;
+
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for snr_db in [10.0f64, 5.0, 0.0, -5.0, -10.0, -15.0] {
+        let mut mf_hits = 0;
+        let mut sc_hits = 0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(4000 + t + (snr_db.abs() * 7.0) as u64);
+            let mut rx = vec![Complex64::ZERO; pad];
+            rx.extend(p.reference(SAMPLE_RATE_HZ));
+            rx.extend(vec![Complex64::ZERO; pad]);
+            NoiseSource::for_snr_db(snr_db).corrupt(&mut rx, &mut rng);
+            if let Some(d) = mf.detect(&rx) {
+                if d.start.abs_diff(pad) <= 2 {
+                    mf_hits += 1;
+                }
+            }
+            if let Some(d) = sc.detect(&rx) {
+                if d.start >= pad.saturating_sub(64) && d.start <= pad + 320 {
+                    sc_hits += 1;
+                }
+            }
+        }
+        let mf_rate = mf_hits as f64 / trials as f64;
+        let sc_rate = sc_hits as f64 / trials as f64;
+        rows.push(vec![f1(snr_db), f3(mf_rate), f3(sc_rate)]);
+        csv_rows.push(vec![f1(snr_db), f3(mf_rate), f3(sc_rate)]);
+    }
+    report.table(
+        &["SNR(dB)", "matched-filter rate", "Schmidl-Cox rate"],
+        &rows,
+    );
+    report.csv("rates", &["snr_db", "matched_filter", "schmidl_cox"], csv_rows)?;
+    report.line("paper: full-preamble detection keeps working at -10 dB; Schmidl-Cox does not");
+    Ok(())
+}

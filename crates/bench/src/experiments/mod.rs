@@ -1,0 +1,24 @@
+//! One module per reproduced table/figure (see DESIGN.md §3 for the
+//! experiment index).
+
+pub mod ablation;
+pub mod baselines;
+pub mod circular;
+pub mod collision;
+pub mod elevation;
+pub mod estimators;
+pub mod fig07;
+pub mod fig09;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod height_appendix;
+pub mod latency;
+pub mod low_snr;
+pub mod reachability;
+pub mod tab01;

@@ -1,0 +1,16 @@
+//! # at-bench — experiment harness for the ArrayTrack reproduction
+//!
+//! One binary per paper table/figure (`src/bin/`), each calling into an
+//! [`experiments`] module; `all_experiments` runs the whole evaluation.
+//! Criterion microbenchmarks for the hot kernels live in `benches/`.
+//!
+//! Outputs go to stdout (aligned tables with paper reference columns) and
+//! `results/*.csv` (override with `ARRAYTRACK_RESULTS`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,95 @@
+//! Property-based tests for geometry and propagation invariants.
+
+use at_channel::geometry::{angle_diff, pt, seg, wrap_angle, Point};
+use at_channel::{
+    free_space_path, AntennaArray, ChannelSim, Floorplan, Material, PathTracer, Transmitter,
+};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-40.0f64..40.0, -40.0f64..40.0).prop_map(|(x, y)| pt(x, y))
+}
+
+proptest! {
+    #[test]
+    fn mirror_is_involution(a in point(), b in point(), p in point()) {
+        prop_assume!(a.distance(b) > 0.1);
+        let wall = seg(a, b);
+        let back = wall.mirror(wall.mirror(p));
+        prop_assert!(back.distance(p) < 1e-6);
+    }
+
+    #[test]
+    fn mirror_preserves_distances_to_wall_line(a in point(), b in point(), p in point()) {
+        prop_assume!(a.distance(b) > 0.1);
+        let wall = seg(a, b);
+        let m = wall.mirror(p);
+        prop_assert!((wall.distance_to_line(p) - wall.distance_to_line(m)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrap_angle_is_canonical(theta in -100.0f64..100.0) {
+        let w = wrap_angle(theta);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w));
+        // Same direction.
+        prop_assert!(angle_diff(w, theta) < 1e-9);
+    }
+
+    #[test]
+    fn angle_diff_symmetric_and_bounded(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let d = angle_diff(a, b);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d));
+        prop_assert!((d - angle_diff(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_gain_matches_friis(tx in point(), rx in point()) {
+        prop_assume!(tx.distance(rx) > 1.0);
+        let p = free_space_path(tx, 1.5, rx, 1.5);
+        let lambda = at_channel::wavelength();
+        let expect = lambda / (4.0 * std::f64::consts::PI * tx.distance(rx));
+        prop_assert!((p.gain.abs() - expect).abs() < 1e-12);
+        prop_assert!(p.order == 0);
+    }
+
+    #[test]
+    fn traced_paths_have_sane_invariants(tx in point(), rx in point()) {
+        prop_assume!(tx.distance(rx) > 1.0);
+        let fp = Floorplan::empty()
+            .with_rect(pt(-45.0, -45.0), pt(45.0, 45.0), Material::CONCRETE);
+        let paths = PathTracer::new(&fp).trace(tx, 1.5, rx, 1.5);
+        prop_assert!(!paths.is_empty());
+        for p in &paths {
+            prop_assert!(p.length > 0.0);
+            prop_assert!(p.gain.is_finite());
+            prop_assert!(p.order <= 2);
+            // Virtual source distance equals 2D path length component.
+            prop_assert!(p.image.distance(rx) <= p.length + 1e-9);
+        }
+        // Sorted strongest-first.
+        for w in paths.windows(2) {
+            prop_assert!(w[0].gain.abs() >= w[1].gain.abs());
+        }
+        // Direct path exists and is first-order-free.
+        prop_assert!(paths.iter().any(|p| p.order == 0));
+    }
+
+    #[test]
+    fn bearing_round_trip(theta in 0.01f64..6.2, d in 2.0f64..40.0, axis in -3.0f64..3.0) {
+        let array = AntennaArray::ula(pt(0.0, 0.0), axis, 8);
+        let p = array.point_at(theta, d);
+        prop_assert!(angle_diff(array.bearing_to(p), theta) < 1e-9);
+    }
+
+    #[test]
+    fn received_power_is_positive_and_scales(txp in point(), amp in 0.1f64..10.0) {
+        prop_assume!(txp.norm() > 1.0);
+        let fp = Floorplan::empty();
+        let sim = ChannelSim::new(&fp);
+        let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 4);
+        let base = sim.received_power(&Transmitter::at(txp), &array);
+        let scaled = sim.received_power(&Transmitter::at(txp).with_amplitude(amp), &array);
+        prop_assert!(base > 0.0);
+        prop_assert!((scaled / base - amp * amp).abs() < 1e-6 * amp * amp);
+    }
+}

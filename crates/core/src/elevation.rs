@@ -1,0 +1,148 @@
+//! Elevation estimation with a vertical array (paper §4.3.1 future work).
+//!
+//! "In future work, we are planning to extend the ArrayTrack system to
+//! three dimensions by using a vertically-oriented antenna array in
+//! conjunction with the existing horizontally-oriented array. This will
+//! allow the system to estimate elevation directly."
+//!
+//! A vertical λ/2 ULA is mathematically a horizontal ULA whose axis points
+//! at the zenith: the inter-element phase is `π·cos(θ_z)` with `θ_z` the
+//! angle from vertical, and the elevation above the horizon is
+//! `φ = π/2 − θ_z` — so `sin φ = cos θ_z` and we can reuse the standard
+//! MUSIC machinery wholesale, then convert.
+
+use crate::music::{music_analysis, MusicConfig};
+use at_channel::geometry::Point;
+use at_dsp::SnapshotBlock;
+use std::f64::consts::FRAC_PI_2;
+
+/// An elevation estimate from a vertical array.
+#[derive(Clone, Copy, Debug)]
+pub struct ElevationEstimate {
+    /// Elevation above the array's horizontal plane, radians
+    /// (positive = source above the array center).
+    pub elevation: f64,
+    /// Peak spectrum power (relative confidence).
+    pub power: f64,
+}
+
+/// Estimates the dominant arrival elevation from a vertical-array capture.
+///
+/// `block` rows must be the vertical array's elements bottom-to-top (the
+/// order `at_channel::AntennaArray::vertical` positions them).
+/// MUSIC's vertical spectrum is symmetric fore/aft of the mast, which
+/// doesn't matter for elevation: both image bearings share the same
+/// `cos θ_z`, hence the same elevation.
+pub fn estimate_elevation(block: &SnapshotBlock, cfg: &MusicConfig) -> Option<ElevationEstimate> {
+    let analysis = music_analysis(block, cfg);
+    let peak = analysis.spectrum.find_peaks(0.5).into_iter().next()?;
+    // θ_z is measured from the array axis, which points *up* through the
+    // element order: element m sits at height + (m − (M−1)/2)·s, matching
+    // a ULA whose axis unit vector is +z. Fold the mirrored spectrum into
+    // [0, π] first.
+    let theta_z = if peak.theta > std::f64::consts::PI {
+        std::f64::consts::TAU - peak.theta
+    } else {
+        peak.theta
+    };
+    Some(ElevationEstimate {
+        elevation: FRAC_PI_2 - theta_z,
+        power: peak.power,
+    })
+}
+
+/// Converts an elevation measured at a vertical array into a client height
+/// estimate, given the client's plan-view position (from the horizontal
+/// arrays' 2D fix) — the paper's proposed 3D composition.
+pub fn height_from_elevation(
+    array_center: Point,
+    array_height: f64,
+    client_xy: Point,
+    elevation: f64,
+) -> f64 {
+    let d2d = array_center.distance(client_xy);
+    array_height + d2d * elevation.tan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_channel::geometry::pt;
+    use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+    use at_linalg::Complex64;
+
+    /// Captures snapshots at a vertical array from a client at the given
+    /// plan distance and height.
+    fn capture_vertical(dist: f64, client_h: f64, array_h: f64) -> SnapshotBlock {
+        let fp = Floorplan::empty();
+        let sim = ChannelSim::new(&fp);
+        let array = AntennaArray::vertical(pt(0.0, 0.0), 8).with_height(array_h);
+        let tx = Transmitter::at(pt(dist, 0.0)).with_height(client_h);
+        let streams = sim.receive(
+            &tx,
+            &array,
+            |t| Complex64::cis(std::f64::consts::TAU * 1e6 * t),
+            0.0,
+            10.0 / at_dsp::SAMPLE_RATE_HZ,
+            at_dsp::SAMPLE_RATE_HZ,
+        );
+        SnapshotBlock::new(streams)
+    }
+
+    #[test]
+    fn level_client_has_zero_elevation() {
+        let block = capture_vertical(10.0, 2.0, 2.0);
+        let est = estimate_elevation(&block, &MusicConfig::default()).unwrap();
+        assert!(
+            est.elevation.abs() < 1.5f64.to_radians(),
+            "elevation {:.2}°",
+            est.elevation.to_degrees()
+        );
+    }
+
+    #[test]
+    fn elevation_sign_tracks_client_height() {
+        // Client below the array → negative elevation; above → positive.
+        let below = estimate_elevation(&capture_vertical(8.0, 1.0, 2.5), &MusicConfig::default())
+            .unwrap();
+        let above = estimate_elevation(&capture_vertical(8.0, 4.0, 2.5), &MusicConfig::default())
+            .unwrap();
+        assert!(below.elevation < -2f64.to_radians(), "{}", below.elevation);
+        assert!(above.elevation > 2f64.to_radians(), "{}", above.elevation);
+    }
+
+    #[test]
+    fn elevation_matches_geometry() {
+        for (d, hc, ha) in [(6.0, 1.0, 3.0), (10.0, 1.5, 2.5), (15.0, 0.5, 3.0)] {
+            let block = capture_vertical(d, hc, ha);
+            let est = estimate_elevation(&block, &MusicConfig::default()).unwrap();
+            let truth = ((hc - ha) / d).atan();
+            assert!(
+                (est.elevation - truth).abs() < 1.5f64.to_radians(),
+                "d={d}: est {:.2}° truth {:.2}°",
+                est.elevation.to_degrees(),
+                truth.to_degrees()
+            );
+        }
+    }
+
+    #[test]
+    fn height_recovered_from_elevation() {
+        let d = 9.0;
+        let (hc, ha) = (0.8, 2.8);
+        let block = capture_vertical(d, hc, ha);
+        let est = estimate_elevation(&block, &MusicConfig::default()).unwrap();
+        let h = height_from_elevation(pt(0.0, 0.0), ha, pt(d, 0.0), est.elevation);
+        assert!((h - hc).abs() < 0.35, "height estimate {h:.2} vs truth {hc}");
+    }
+
+    #[test]
+    fn height_conversion_geometry() {
+        // 45° up at 5 m horizontal → 5 m above the array.
+        let h = height_from_elevation(pt(0.0, 0.0), 2.0, pt(5.0, 0.0), FRAC_PI_2 / 2.0);
+        assert!((h - 7.0).abs() < 1e-9);
+        // Level → array height.
+        let h = height_from_elevation(pt(0.0, 0.0), 2.0, pt(5.0, 0.0), 0.0);
+        assert!((h - 2.0).abs() < 1e-12);
+    }
+}

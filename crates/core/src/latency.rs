@@ -1,0 +1,147 @@
+//! System latency accounting (paper §4.4, Fig. 21).
+//!
+//! The end-to-end latency from a frame hitting the air to a location
+//! estimate decomposes into:
+//!
+//! | term | meaning                         | paper value            |
+//! |------|---------------------------------|------------------------|
+//! | `T`  | frame airtime                   | 222 µs – 12 ms         |
+//! | `Td` | preamble detection              | 16 µs                  |
+//! | `Tt` | WARP→PC serialization           | 2.56 ms at 1 Mbit/s    |
+//! | `Tl` | WARP→PC bus latency             | ≈ 30 ms                |
+//! | `Tp` | server-side processing          | ≈ 100 ms (Matlab/Xeon) |
+//!
+//! ArrayTrack only needs 10 preamble samples, so everything after `Td`
+//! happens while the rest of the frame is still on the air; the added
+//! latency from the end of the packet is `Td + Tt + Tl + Tp − T ≈ 100 ms`.
+
+use std::time::Duration;
+
+/// Bits per complex sample shipped from AP to server (16-bit I + 16-bit Q).
+pub const BITS_PER_SAMPLE: f64 = 32.0;
+
+/// The latency budget of one ArrayTrack location fix.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Frame airtime `T`, seconds.
+    pub airtime: f64,
+    /// Preamble detection time `Td`, seconds (10 short + 2 long symbols).
+    pub detection: f64,
+    /// Sample serialization time `Tt`, seconds.
+    pub transfer: f64,
+    /// Bus latency `Tl`, seconds.
+    pub bus: f64,
+    /// Server processing time `Tp`, seconds.
+    pub processing: f64,
+}
+
+impl LatencyModel {
+    /// The paper's operating point for a given frame airtime and a measured
+    /// (or assumed) processing time.
+    pub fn paper_defaults(airtime: f64, processing: f64) -> Self {
+        Self {
+            airtime,
+            detection: 16e-6,
+            transfer: transfer_time(10, 8, 1.0e6),
+            bus: 30e-3,
+            processing,
+        }
+    }
+
+    /// Total latency added beyond the end of the packet:
+    /// `Td + Tt + Tl + Tp − T`, floored at zero (for very long frames the
+    /// pipeline finishes before the frame does).
+    pub fn added_latency(&self) -> Duration {
+        let s =
+            (self.detection + self.transfer + self.bus + self.processing - self.airtime).max(0.0);
+        Duration::from_secs_f64(s)
+    }
+
+    /// Latency from the *start* of the frame (preamble arrival) to the fix.
+    pub fn total_from_frame_start(&self) -> Duration {
+        Duration::from_secs_f64(self.detection + self.transfer + self.bus + self.processing)
+    }
+}
+
+/// Airtime of a frame of `bytes` payload at `rate_bps`, plus the 20 µs
+/// PLCP preamble+header (§4.4 quotes 222 µs for 1500 B at 54 Mbit/s).
+pub fn frame_airtime(bytes: usize, rate_bps: f64) -> f64 {
+    assert!(rate_bps > 0.0);
+    20e-6 + bytes as f64 * 8.0 / rate_bps
+}
+
+/// Serialization time for shipping `samples` complex samples from `radios`
+/// radios over a link of `link_bps` (paper eq. in §4.4: 2.56 ms for
+/// 10 samples × 8 radios over 1 Mbit/s).
+pub fn transfer_time(samples: usize, radios: usize, link_bps: f64) -> f64 {
+    assert!(link_bps > 0.0);
+    samples as f64 * BITS_PER_SAMPLE * radios as f64 / link_bps
+}
+
+/// Network overhead of continuous ArrayTrack operation at a given refresh
+/// interval (paper §4.3.3: 0.0256 Mbit/s for 10 samples, 8 radios, 100 ms).
+pub fn traffic_bps(samples: usize, radios: usize, refresh_s: f64) -> f64 {
+    assert!(refresh_s > 0.0);
+    samples as f64 * BITS_PER_SAMPLE * radios as f64 / refresh_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_airtime_range_reproduced() {
+        // ~222 µs for 1500 B at 54 Mbit/s; ~12 ms at 1 Mbit/s.
+        let fast = frame_airtime(1500, 54e6);
+        let slow = frame_airtime(1500, 1e6);
+        assert!((fast - 222e-6).abs() < 30e-6, "{fast}");
+        assert!((slow - 12e-3).abs() < 0.1e-3, "{slow}");
+    }
+
+    #[test]
+    fn paper_transfer_time_reproduced() {
+        // (10 samples)(32 bits)(8 radios) / 1 Mbit/s = 2.56 ms.
+        let tt = transfer_time(10, 8, 1.0e6);
+        assert!((tt - 2.56e-3).abs() < 1e-9, "{tt}");
+    }
+
+    #[test]
+    fn paper_traffic_overhead_reproduced() {
+        // 0.0256 Mbit/s at a 100 ms refresh interval.
+        let bps = traffic_bps(10, 8, 0.100);
+        assert!((bps - 25_600.0).abs() < 1e-6, "{bps}");
+    }
+
+    #[test]
+    fn added_latency_near_100ms_at_paper_point() {
+        // 1500 B at 54 Mbit/s with a 100 ms processing stage (Matlab-era).
+        let m = LatencyModel::paper_defaults(frame_airtime(1500, 54e6), 100e-3);
+        let added = m.added_latency().as_secs_f64();
+        assert!((added - 0.1323).abs() < 0.003, "{added}");
+        // The paper's ≈100 ms summary excludes the 30 ms bus latency
+        // ("total latency that ArrayTrack adds ... (excluding bus latency)").
+        let without_bus = added - m.bus;
+        assert!((without_bus - 0.102).abs() < 0.003, "{without_bus}");
+    }
+
+    #[test]
+    fn long_frames_hide_the_pipeline() {
+        // A 12 ms frame at 1 Mbit/s still can't hide a 130 ms pipeline, but
+        // a hypothetical long frame would floor at zero.
+        let m = LatencyModel {
+            airtime: 1.0,
+            detection: 16e-6,
+            transfer: 2.56e-3,
+            bus: 30e-3,
+            processing: 0.1,
+        };
+        assert_eq!(m.added_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn total_from_frame_start_sums_stages() {
+        let m = LatencyModel::paper_defaults(222e-6, 50e-3);
+        let total = m.total_from_frame_start().as_secs_f64();
+        assert!((total - (16e-6 + 2.56e-3 + 30e-3 + 50e-3)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # at-core — the ArrayTrack algorithms
+//!
+//! The paper's primary contribution, as a library. The processing chain
+//! (Figure 1) runs:
+//!
+//! 1. [`music`] — MUSIC pseudospectrum over the steering-vector continuum
+//!    (§2.3.1, eqs. 4–6), with [`smoothing`] for coherent multipath
+//!    (§2.3.2) and [`steering`] vectors matching the channel model;
+//! 2. [`weighting`] — the array geometry window `W(θ)` (§2.3.3, eq. 7);
+//! 3. [`symmetry`] — resolving the linear array's 180° ambiguity with the
+//!    off-row ninth antenna (§2.3.4);
+//! 4. [`suppression`] — multipath suppression across temporally adjacent
+//!    frames (§2.4, Fig. 8);
+//! 5. [`synthesis`] — the multi-AP likelihood product `L(x) = Π Pᵢ(θᵢ)`
+//!    with 10 cm grid search and hill climbing (§2.5, eq. 8);
+//!
+//! plus [`sic`] for colliding packets (§4.3.5), [`latency`] for the §4.4
+//! budget, and [`pipeline`] tying the stages into per-AP and server-side
+//! entry points. [`spectrum`] defines the AoA spectrum type they all share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elevation;
+pub mod estimators;
+pub mod latency;
+pub mod music;
+pub mod pipeline;
+pub mod sic;
+pub mod smoothing;
+pub mod spectrum;
+pub mod steering;
+pub mod suppression;
+pub mod symmetry;
+pub mod synthesis;
+pub mod tracking;
+pub mod weighting;
+
+pub use music::{music_analysis, music_spectrum, MusicAnalysis, MusicConfig};
+pub use pipeline::{process_frame, process_frame_group, ApPipelineConfig, ArrayTrackServer};
+pub use spectrum::{AoaSpectrum, Peak};
+pub use suppression::{suppress_multipath, SuppressionConfig};
+pub use synthesis::{
+    heatmap, likelihood, localize, ApObservation, ApPose, Heatmap, LocationEstimate,
+    SearchRegion,
+};
+pub use tracking::{Tracker, TrackerConfig};

@@ -1,0 +1,292 @@
+//! The per-AP processing pipeline and the ArrayTrack server.
+//!
+//! Mirrors Figure 1's information flow: captured snapshots → MUSIC AoA
+//! spectrum (§2.3) with spatial smoothing (§2.3.2) → array geometry
+//! weighting (§2.3.3) → array symmetry removal (§2.3.4) → multipath
+//! suppression across frames (§2.4) → spectra synthesis across APs (§2.5).
+//! Every stage can be toggled, which is how the evaluation's
+//! optimized-vs-unoptimized comparisons (Figs. 13/15) and the ablation
+//! bench are expressed.
+
+use crate::music::{music_analysis, MusicConfig};
+use crate::spectrum::AoaSpectrum;
+use crate::suppression::{suppress_multipath, SuppressionConfig};
+use crate::symmetry::{remove_symmetry, resolve_mirror_peaks};
+use crate::synthesis::{localize, ApObservation, ApPose, LocationEstimate, SearchRegion};
+use crate::weighting::apply_geometry_weighting;
+use at_dsp::SnapshotBlock;
+
+/// How the §2.3.4 mirror ambiguity is resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymmetryMode {
+    /// Leave the mirrored 360° spectrum as-is (the Fig. 13 baseline).
+    Off,
+    /// The paper's literal rule: zero the half-circle with less total
+    /// power. Fragile in strong multipath (a ghost-side reflection can
+    /// erase the direct path); kept for the ablation bench.
+    WholeSide,
+    /// Per-peak resolution from the off-row antenna's phase (the default;
+    /// see `symmetry::resolve_mirror_peaks`).
+    PerPeak,
+}
+
+/// Per-AP pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ApPipelineConfig {
+    /// Number of in-row array elements (the MUSIC aperture).
+    pub elements: usize,
+    /// MUSIC estimator settings.
+    pub music: MusicConfig,
+    /// Apply the `W(θ)` geometry window (§2.3.3).
+    pub weighting: bool,
+    /// Mirror-ambiguity handling (§2.3.4). Any mode other than `Off`
+    /// requires blocks to carry `elements + 1` rows, the last being the
+    /// off-row antenna.
+    pub symmetry: SymmetryMode,
+}
+
+impl ApPipelineConfig {
+    /// The paper's full ArrayTrack configuration for `elements` antennas.
+    pub fn arraytrack(elements: usize) -> Self {
+        Self {
+            elements,
+            music: MusicConfig::default(),
+            weighting: true,
+            symmetry: SymmetryMode::PerPeak,
+        }
+    }
+
+    /// The "unoptimized raw AoA" configuration used as the baseline in
+    /// Figs. 13/15: MUSIC + smoothing only.
+    pub fn unoptimized(elements: usize) -> Self {
+        Self {
+            elements,
+            music: MusicConfig::default(),
+            weighting: false,
+            symmetry: SymmetryMode::Off,
+        }
+    }
+
+    /// Whether the capture must include the off-row antenna row.
+    pub fn needs_offrow(&self) -> bool {
+        self.symmetry != SymmetryMode::Off
+    }
+}
+
+/// Processes one captured frame into an AoA spectrum.
+///
+/// The block must hold `elements` rows (plus one off-row row if symmetry
+/// resolution is enabled).
+pub fn process_frame(block: &SnapshotBlock, cfg: &ApPipelineConfig) -> AoaSpectrum {
+    let expected = cfg.elements + usize::from(cfg.needs_offrow());
+    assert_eq!(
+        block.antennas(),
+        expected,
+        "block has {} rows, config expects {expected}",
+        block.antennas()
+    );
+    // MUSIC on the in-row antennas only.
+    let inrow = if block.antennas() == cfg.elements {
+        block.clone()
+    } else {
+        SnapshotBlock::new(
+            (0..cfg.elements)
+                .map(|m| block.stream(m).to_vec())
+                .collect(),
+        )
+    };
+    let mut spectrum = music_analysis(&inrow, &cfg.music).spectrum;
+    if cfg.weighting {
+        apply_geometry_weighting(&mut spectrum);
+    }
+    match cfg.symmetry {
+        SymmetryMode::Off => {}
+        SymmetryMode::WholeSide => {
+            remove_symmetry(&mut spectrum, block, cfg.elements);
+        }
+        SymmetryMode::PerPeak => {
+            resolve_mirror_peaks(&mut spectrum, block, cfg.elements);
+        }
+    }
+    spectrum
+}
+
+/// Processes a group of temporally-adjacent frames from one client at one
+/// AP: per-frame spectra, then multipath suppression (§2.4).
+pub fn process_frame_group(
+    blocks: &[SnapshotBlock],
+    cfg: &ApPipelineConfig,
+    suppression: &SuppressionConfig,
+) -> AoaSpectrum {
+    assert!(!blocks.is_empty(), "need at least one frame");
+    let spectra: Vec<AoaSpectrum> = blocks.iter().map(|b| process_frame(b, cfg)).collect();
+    suppress_multipath(&spectra, suppression)
+}
+
+/// The central ArrayTrack server: accumulates per-AP spectra for a client
+/// and produces a location estimate (Fig. 1's right half).
+#[derive(Clone, Debug)]
+pub struct ArrayTrackServer {
+    observations: Vec<ApObservation>,
+    region: SearchRegion,
+}
+
+impl ArrayTrackServer {
+    /// A server searching the given region.
+    pub fn new(region: SearchRegion) -> Self {
+        Self {
+            observations: Vec::new(),
+            region,
+        }
+    }
+
+    /// Adds one AP's processed spectrum.
+    pub fn add_observation(&mut self, pose: ApPose, spectrum: AoaSpectrum) {
+        self.observations.push(ApObservation { pose, spectrum });
+    }
+
+    /// Number of AP observations accumulated.
+    pub fn observation_count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Clears accumulated observations (between clients).
+    pub fn clear(&mut self) {
+        self.observations.clear();
+    }
+
+    /// Produces the location estimate from all accumulated observations.
+    ///
+    /// # Panics
+    /// Panics if no observations were added.
+    pub fn localize(&self) -> LocationEstimate {
+        localize(&self.observations, self.region)
+    }
+
+    /// The accumulated observations (for heatmap rendering).
+    pub fn observations(&self) -> &[ApObservation] {
+        &self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_channel::geometry::{angle_diff, pt};
+    use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+    use at_dsp::preamble::{Preamble, LTS0_START_S};
+    use at_linalg::Complex64;
+
+    /// Captures a snapshot block for a client through the channel.
+    fn capture(
+        fp: &Floorplan,
+        array: &AntennaArray,
+        tx: &Transmitter,
+        snapshots: usize,
+    ) -> SnapshotBlock {
+        let sim = ChannelSim::new(fp);
+        let p = Preamble::new();
+        let streams = sim.receive(
+            tx,
+            array,
+            |t| p.eval(t),
+            LTS0_START_S + 1.0e-6,
+            snapshots as f64 / at_dsp::SAMPLE_RATE_HZ,
+            at_dsp::SAMPLE_RATE_HZ,
+        );
+        SnapshotBlock::new(streams)
+    }
+
+    #[test]
+    fn full_pipeline_points_at_client() {
+        let fp = Floorplan::empty();
+        let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8).with_offrow_element();
+        let theta = 235f64.to_radians();
+        let tx = Transmitter::at(array.point_at(theta, 9.0));
+        let block = capture(&fp, &array, &tx, 10);
+        let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
+        let best = spec.find_peaks(0.2)[0];
+        assert!(
+            angle_diff(best.theta, theta) < 3f64.to_radians(),
+            "peak {} vs truth {theta}",
+            best.theta
+        );
+        // The mirror lobe must be strongly attenuated (×0.1) by per-peak
+        // symmetry resolution.
+        assert!(!spec.has_peak_near(std::f64::consts::TAU - theta, 0.05, 0.15));
+    }
+
+    #[test]
+    fn unoptimized_pipeline_keeps_mirror() {
+        let fp = Floorplan::empty();
+        let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+        let theta = 50f64.to_radians();
+        let tx = Transmitter::at(array.point_at(theta, 9.0));
+        let block = capture(&fp, &array, &tx, 10);
+        let spec = process_frame(&block, &ApPipelineConfig::unoptimized(8));
+        assert!(spec.has_peak_near(theta, 0.05, 0.3));
+        assert!(spec.has_peak_near(std::f64::consts::TAU - theta, 0.05, 0.3));
+    }
+
+    #[test]
+    fn frame_group_suppression_runs() {
+        let fp = Floorplan::empty();
+        let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8).with_offrow_element();
+        let theta = 100f64.to_radians();
+        let base = array.point_at(theta, 10.0);
+        let blocks: Vec<SnapshotBlock> = [0.0, 0.03, 0.05]
+            .iter()
+            .map(|d| {
+                let tx = Transmitter::at(pt(base.x + d, base.y));
+                capture(&fp, &array, &tx, 10)
+            })
+            .collect();
+        let spec = process_frame_group(
+            &blocks,
+            &ApPipelineConfig::arraytrack(8),
+            &SuppressionConfig::default(),
+        );
+        assert!(spec.has_peak_near(theta, 3f64.to_radians(), 0.2));
+    }
+
+    #[test]
+    fn server_end_to_end_free_space() {
+        let fp = Floorplan::empty();
+        let client = pt(6.0, 4.0);
+        let mut server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)));
+        let poses = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+        ];
+        for (center, axis) in poses {
+            let array = AntennaArray::ula(center, axis, 8).with_offrow_element();
+            let tx = Transmitter::at(client);
+            let block = capture(&fp, &array, &tx, 10);
+            let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
+            server.add_observation(
+                ApPose {
+                    center,
+                    axis_angle: axis,
+                },
+                spec,
+            );
+        }
+        assert_eq!(server.observation_count(), 3);
+        let est = server.localize();
+        assert!(
+            est.position.distance(client) < 0.25,
+            "estimate {:?} vs client {client:?}",
+            est.position
+        );
+        server.clear();
+        assert_eq!(server.observation_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "config expects")]
+    fn wrong_row_count_panics() {
+        let block = SnapshotBlock::new(vec![vec![Complex64::ONE; 4]; 8]);
+        process_frame(&block, &ApPipelineConfig::arraytrack(8)); // wants 9 rows
+    }
+}

@@ -1,0 +1,188 @@
+//! Collision handling via successive interference cancellation (§4.3.5).
+//!
+//! When two packets collide, ArrayTrack still recovers AoA for both as long
+//! as their *preambles* don't overlap: the first packet's preamble is clean
+//! (only its own bearings), while the second packet's preamble overlaps the
+//! first packet's body — so its AoA spectrum contains both packets'
+//! bearings. Removing the first spectrum's peaks from the second isolates
+//! the second client ("a form of successive interference cancellation").
+
+use crate::music::{music_spectrum, MusicConfig};
+use crate::spectrum::AoaSpectrum;
+use crate::suppression::SuppressionConfig;
+use at_dsp::detector::MatchedFilter;
+use at_dsp::{Preamble, SnapshotBlock};
+use at_linalg::Complex64;
+
+/// Result of AoA extraction from a two-packet collision.
+#[derive(Clone, Debug)]
+pub struct CollisionAoa {
+    /// AoA spectrum of the first (earlier) packet.
+    pub first: AoaSpectrum,
+    /// AoA spectrum of the second packet after removing the first packet's
+    /// peaks.
+    pub second: AoaSpectrum,
+    /// Detected preamble start offsets (samples) for both packets.
+    pub starts: (usize, usize),
+}
+
+/// Errors from collision processing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SicError {
+    /// Fewer than two preambles were detected in the capture.
+    NotEnoughDetections(usize),
+    /// The two detected preambles overlap (the ~0.6 % case for 1000-byte
+    /// packets the paper quantifies): AoA cannot be separated.
+    PreamblesOverlap,
+}
+
+impl std::fmt::Display for SicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SicError::NotEnoughDetections(n) => {
+                write!(f, "expected two preamble detections, found {n}")
+            }
+            SicError::PreamblesOverlap => write!(f, "the colliding preambles overlap"),
+        }
+    }
+}
+
+impl std::error::Error for SicError {}
+
+/// Configuration for the collision pipeline.
+#[derive(Clone, Debug)]
+pub struct SicConfig {
+    /// MUSIC settings for both spectra.
+    pub music: MusicConfig,
+    /// Peak matching settings for the cancellation step.
+    pub suppression: SuppressionConfig,
+    /// Matched-filter detection threshold.
+    pub detect_threshold: f64,
+    /// Snapshot count per spectrum (paper default: 10).
+    pub snapshots: usize,
+    /// Offset into the detected preamble where snapshots are taken. Chosen
+    /// inside the short-training section by default.
+    pub snapshot_offset: usize,
+}
+
+impl Default for SicConfig {
+    fn default() -> Self {
+        Self {
+            music: MusicConfig::default(),
+            suppression: SuppressionConfig::default(),
+            detect_threshold: 0.15,
+            snapshots: 10,
+            snapshot_offset: 40,
+        }
+    }
+}
+
+/// Extracts AoA spectra for two colliding packets from per-antenna streams.
+///
+/// `streams[m]` is antenna `m`'s capture covering both packets. Detection
+/// runs on antenna 0 (the paper detects once in hardware); the snapshot
+/// blocks for MUSIC are cut from every antenna at the detected offsets.
+pub fn process_collision(
+    streams: &[Vec<Complex64>],
+    sample_rate: f64,
+    cfg: &SicConfig,
+) -> Result<CollisionAoa, SicError> {
+    let preamble = Preamble::new();
+    let mf = MatchedFilter::new(&preamble, sample_rate).with_threshold(cfg.detect_threshold);
+    let mut detections = mf.detect_all(&streams[0]);
+    // Genuine preambles correlate near 1 while data-body artifacts sit far
+    // lower; keep only detections within 2× of the strongest so artifacts
+    // don't masquerade as a second packet.
+    let strongest = detections
+        .iter()
+        .map(|d| d.metric)
+        .fold(0.0f64, f64::max);
+    detections.retain(|d| d.metric >= 0.5 * strongest);
+    if detections.len() < 2 {
+        return Err(SicError::NotEnoughDetections(detections.len()));
+    }
+    let first = detections[0].start;
+    let second = detections[1].start;
+    let preamble_len = mf.reference_len();
+    if second < first + preamble_len {
+        return Err(SicError::PreamblesOverlap);
+    }
+
+    let cut = |start: usize| -> SnapshotBlock {
+        SnapshotBlock::new(
+            streams
+                .iter()
+                .map(|s| {
+                    s[start + cfg.snapshot_offset..start + cfg.snapshot_offset + cfg.snapshots]
+                        .to_vec()
+                })
+                .collect(),
+        )
+    };
+
+    let spec1 = music_spectrum(&cut(first), &cfg.music);
+    let mut spec2 = music_spectrum(&cut(second), &cfg.music);
+
+    // Remove the first packet's peaks from the second packet's spectrum.
+    for peak in spec1.find_peaks(cfg.suppression.peak_threshold) {
+        if spec2.has_peak_near(
+            peak.theta,
+            cfg.suppression.match_tolerance,
+            cfg.suppression.peak_threshold,
+        ) {
+            spec2.remove_peak(peak.theta);
+        }
+    }
+
+    Ok(CollisionAoa {
+        first: spec1,
+        second: spec2,
+        starts: (first, second),
+    })
+}
+
+/// Probability that two colliding packets have overlapping preambles, given
+/// the packet airtime and preamble duration — the paper's 0.6 % estimate
+/// for 1000-byte packets: `preamble / airtime`.
+pub fn preamble_collision_probability(airtime_s: f64, preamble_s: f64) -> f64 {
+    assert!(airtime_s > 0.0 && preamble_s > 0.0);
+    (preamble_s / airtime_s).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_dsp::preamble::PREAMBLE_S;
+
+    #[test]
+    fn paper_collision_probability_reproduced() {
+        // The paper quotes ~0.6 % preamble-collision odds for two 1000-byte
+        // packets; that ratio corresponds to a ≈2.7 ms frame airtime
+        // (1000 B at ~3 Mbit/s effective). Verify the helper reproduces the
+        // quoted probability at that operating point and scales correctly.
+        let airtime = PREAMBLE_S / 0.006;
+        let p = preamble_collision_probability(airtime, PREAMBLE_S);
+        assert!((p - 0.006).abs() < 1e-9, "p = {p}");
+        // Longer frames make preamble collisions rarer.
+        assert!(
+            preamble_collision_probability(airtime * 2.0, PREAMBLE_S) < p
+        );
+    }
+
+    #[test]
+    fn probability_saturates_at_one() {
+        assert_eq!(preamble_collision_probability(1e-6, 1.0), 1.0);
+    }
+
+    #[test]
+    fn not_enough_detections_error() {
+        let streams = vec![vec![Complex64::ZERO; 4000]];
+        let err = process_collision(&streams, at_dsp::SAMPLE_RATE_HZ, &SicConfig::default())
+            .unwrap_err();
+        assert_eq!(err, SicError::NotEnoughDetections(0));
+    }
+
+    // Full end-to-end collision tests (two clients through the channel
+    // simulator) live in the integration suite and the exp_collision_sic
+    // experiment binary; here we cover the pure-logic error paths.
+}

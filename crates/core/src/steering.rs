@@ -1,0 +1,200 @@
+//! Array steering vectors (paper eq. 2).
+//!
+//! The steering vector `a(θ)` encodes the inter-antenna phase progression a
+//! plane wave from bearing `θ` produces. Our sign convention matches the
+//! channel simulator: element `m` of a λ/2-spaced ULA sits `m·λ/2` further
+//! along the axis, so a wave from bearing `θ` (measured from the axis)
+//! reaches it with phase *advance* `m·π·cosθ` relative to element 0:
+//!
+//! ```text
+//! a(θ) = [1, e^{jπcosθ}, e^{j2πcosθ}, …, e^{j(M−1)πcosθ}]
+//! ```
+//!
+//! For arbitrary element layouts (e.g. the off-row ninth antenna, §2.3.4)
+//! the general form is `a_m(θ) = e^{j2π·(p_m·u(θ))/λ}` with `p_m` the
+//! element position in the array frame and `u(θ)` the unit vector toward
+//! the source.
+
+use at_channel::geometry::{pt, Point};
+use at_channel::{half_wavelength, wavelength};
+use at_linalg::{CVector, Complex64};
+use std::f64::consts::PI;
+
+/// Steering vector for an `elements`-antenna λ/2 ULA at bearing `theta`
+/// (radians from the array axis).
+pub fn ula_steering(elements: usize, theta: f64) -> CVector {
+    CVector::from_fn(elements, |m| {
+        Complex64::cis(m as f64 * PI * theta.cos())
+    })
+}
+
+/// Steering vector for arbitrary element positions `positions` (meters, in
+/// the array frame where +x is the array axis) at bearing `theta`.
+pub fn general_steering(positions: &[Point], theta: f64) -> CVector {
+    let u = Point::unit(theta);
+    let lambda = wavelength();
+    CVector::from_fn(positions.len(), |m| {
+        Complex64::cis(2.0 * PI * positions[m].dot(u) / lambda)
+    })
+}
+
+/// Element positions in the array frame for a λ/2 ULA with an optional
+/// off-row element (matching `at_channel::AntennaArray`'s layout: in-row
+/// elements centered on the origin, off-row element λ/4 perpendicular from
+/// element 0 — see `at_channel::array::offrow_offset` for why λ/4).
+pub fn array_frame_positions(elements: usize, offrow: bool) -> Vec<Point> {
+    let s = half_wavelength();
+    let mut ps: Vec<Point> = (0..elements)
+        .map(|m| pt((m as f64 - (elements as f64 - 1.0) / 2.0) * s, 0.0))
+        .collect();
+    if offrow {
+        let first = ps[0];
+        ps.push(pt(first.x, at_channel::array::offrow_offset()));
+    }
+    ps
+}
+
+/// Element positions in the array frame for a uniform circular array with
+/// λ/2 neighbor chords (matching `at_channel::AntennaArray::uca`): element
+/// `m` sits at angle `2πm/M` on a circle of radius `s/(2·sin(π/M))`.
+pub fn circular_frame_positions(elements: usize) -> Vec<Point> {
+    assert!(elements >= 3, "a circular array needs at least three elements");
+    let r = half_wavelength() / (2.0 * (PI / elements as f64).sin());
+    (0..elements)
+        .map(|m| {
+            let ang = m as f64 * std::f64::consts::TAU / elements as f64;
+            pt(r * ang.cos(), r * ang.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_channel::geometry::angle_diff;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn ula_steering_has_unit_magnitude_entries() {
+        let a = ula_steering(8, 1.1);
+        for z in a.iter() {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0], Complex64::ONE);
+    }
+
+    #[test]
+    fn broadside_steering_is_all_ones() {
+        let a = ula_steering(6, FRAC_PI_2);
+        for z in a.iter() {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn endfire_steering_alternates_sign() {
+        let a = ula_steering(4, 0.0);
+        for (m, z) in a.iter().enumerate() {
+            let expect = if m % 2 == 0 {
+                Complex64::ONE
+            } else {
+                Complex64::real(-1.0)
+            };
+            assert!((*z - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mirror_bearings_are_indistinguishable_for_ula() {
+        // cos(θ) = cos(−θ): a plain ULA can't tell the sides apart (§2.3.4).
+        let up = ula_steering(8, 0.7);
+        let down = ula_steering(8, -0.7);
+        for (a, b) in up.iter().zip(down.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn general_steering_matches_ula_modulo_centering() {
+        // The centered general layout differs from the element-0-referenced
+        // ULA form by a global phase only.
+        let theta = 1.234;
+        let g = general_steering(&array_frame_positions(8, false), theta);
+        let u = ula_steering(8, theta);
+        let ratio0 = g[0] / u[0];
+        for m in 0..8 {
+            let r = g[m] / u[m];
+            assert!((r - ratio0).abs() < 1e-9, "element {m}");
+        }
+    }
+
+    #[test]
+    fn offrow_element_breaks_mirror_symmetry() {
+        let ps = array_frame_positions(8, true);
+        assert_eq!(ps.len(), 9);
+        let up = general_steering(&ps, 0.7);
+        let down = general_steering(&ps, -0.7);
+        // In-row entries agree...
+        for m in 0..8 {
+            assert!((up[m] - down[m]).abs() < 1e-12);
+        }
+        // ...but the off-row entry distinguishes the sides.
+        assert!((up[8] - down[8]).abs() > 0.5);
+    }
+
+    #[test]
+    fn circular_steering_has_no_mirror_ambiguity() {
+        let ps = circular_frame_positions(8);
+        let up = general_steering(&ps, 0.9);
+        let down = general_steering(&ps, -0.9);
+        // Unlike the ULA, a UCA's steering differs strongly across sides.
+        let mut diff = 0.0;
+        for m in 0..8 {
+            diff += (up[m] - down[m]).abs();
+        }
+        assert!(diff > 1.0, "UCA should distinguish mirror bearings: {diff}");
+    }
+
+    #[test]
+    fn circular_positions_match_channel_array() {
+        use at_channel::AntennaArray;
+        let array = AntennaArray::uca(pt(0.0, 0.0), 0.0, 8);
+        let frame = circular_frame_positions(8);
+        for (m, p) in array.element_positions().iter().enumerate() {
+            assert!((p.x - frame[m].x).abs() < 1e-12);
+            assert!((p.y - frame[m].y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn steering_matches_channel_phases() {
+        // The whole point: far-field phases from the channel simulator must
+        // match the plane-wave steering model.
+        use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+        let fp = Floorplan::empty();
+        let sim = ChannelSim::new(&fp);
+        let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+        for theta_deg in [20.0f64, 45.0, 90.0, 140.0] {
+            let theta = theta_deg.to_radians();
+            let tx = Transmitter::at(array.point_at(theta, 2000.0));
+            let rx = sim.receive(
+                &tx,
+                &array,
+                |_| Complex64::ONE,
+                0.0,
+                0.25e-6,
+                at_dsp::SAMPLE_RATE_HZ,
+            );
+            let a = ula_steering(8, theta);
+            for m in 0..8 {
+                let measured = (rx[m][0] / rx[0][0]).arg();
+                let model = (a[m] / a[0]).arg();
+                assert!(
+                    angle_diff(measured, model) < 0.01,
+                    "θ={theta_deg}°, element {m}: {measured} vs {model}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Position tracking across repeated location fixes.
+//!
+//! The paper's motivating applications (§1: augmented reality, navigation)
+//! consume a *stream* of fixes at ~100 ms intervals, not isolated
+//! estimates. A constant-velocity Kalman filter over the synthesis
+//! output smooths measurement noise and rides out the occasional bad fix
+//! (e.g. a frame whose direct path was blocked) — the natural companion to
+//! the paper's per-fix pipeline, built only on `std`.
+//!
+//! State is `[x, y, vx, vy]` with white-acceleration process noise; the
+//! measurement is the 2D position fix from
+//! [`localize`](crate::synthesis::localize).
+
+use at_channel::geometry::{pt, Point};
+
+/// Tracker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct TrackerConfig {
+    /// Standard deviation of the white acceleration driving the model,
+    /// m/s². ~1 m/s² suits walking humans.
+    pub accel_sigma: f64,
+    /// Standard deviation of a position fix, meters (ArrayTrack: ~0.3 m).
+    pub fix_sigma: f64,
+    /// Fixes farther than this many sigmas from the prediction are treated
+    /// as outliers: fused with inflated variance instead of at face value.
+    pub gate_sigmas: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            accel_sigma: 1.0,
+            fix_sigma: 0.35,
+            gate_sigmas: 4.0,
+        }
+    }
+}
+
+type Mat4 = [[f64; 4]; 4];
+
+fn mat_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for (i, row) in a.iter().enumerate() {
+        for k in 0..4 {
+            if row[k] == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                c[i][j] += row[k] * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+fn mat_transpose(a: &Mat4) -> Mat4 {
+    let mut t = [[0.0; 4]; 4];
+    for (i, row) in a.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            t[j][i] = *v;
+        }
+    }
+    t
+}
+
+fn mat_add(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    c
+}
+
+/// A constant-velocity Kalman tracker over 2D position fixes.
+#[derive(Clone, Debug)]
+pub struct Tracker {
+    cfg: TrackerConfig,
+    /// State `[x, y, vx, vy]`; `None` until the first fix arrives.
+    state: Option<[f64; 4]>,
+    /// State covariance.
+    cov: Mat4,
+    /// Count of fixes fused.
+    fixes: u64,
+    /// Count of fixes flagged as outliers by the gate.
+    outliers: u64,
+}
+
+impl Tracker {
+    /// A fresh tracker.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        Self {
+            cfg,
+            state: None,
+            cov: [[0.0; 4]; 4],
+            fixes: 0,
+            outliers: 0,
+        }
+    }
+
+    /// Whether the tracker has been initialized by a fix.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Number of fixes fused so far.
+    pub fn fix_count(&self) -> u64 {
+        self.fixes
+    }
+
+    /// Number of fixes the outlier gate down-weighted.
+    pub fn outlier_count(&self) -> u64 {
+        self.outliers
+    }
+
+    /// The current position estimate (`None` before the first fix).
+    pub fn position(&self) -> Option<Point> {
+        self.state.map(|s| pt(s[0], s[1]))
+    }
+
+    /// The current velocity estimate in m/s (`None` before the first fix).
+    pub fn velocity(&self) -> Option<(f64, f64)> {
+        self.state.map(|s| (s[2], s[3]))
+    }
+
+    /// Position predicted `dt` seconds ahead of the current state.
+    pub fn predict(&self, dt: f64) -> Option<Point> {
+        self.state.map(|s| pt(s[0] + s[2] * dt, s[1] + s[3] * dt))
+    }
+
+    /// Fuses a position fix taken `dt` seconds after the previous one and
+    /// returns the filtered position estimate.
+    ///
+    /// # Panics
+    /// Panics on non-positive `dt` after initialization or non-finite fix.
+    pub fn update(&mut self, fix: Point, dt: f64) -> Point {
+        assert!(fix.x.is_finite() && fix.y.is_finite(), "non-finite fix");
+        let r_nominal = self.cfg.fix_sigma * self.cfg.fix_sigma;
+        let Some(state) = self.state else {
+            // Initialize at the first fix with loose velocity knowledge.
+            self.state = Some([fix.x, fix.y, 0.0, 0.0]);
+            self.cov = [[0.0; 4]; 4];
+            self.cov[0][0] = r_nominal;
+            self.cov[1][1] = r_nominal;
+            self.cov[2][2] = 4.0; // ±2 m/s prior velocity
+            self.cov[3][3] = 4.0;
+            self.fixes = 1;
+            return fix;
+        };
+        assert!(dt > 0.0, "dt must be positive");
+
+        // Predict: x' = F x, P' = F P Fᵀ + Q.
+        let f: Mat4 = [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        let q_a = self.cfg.accel_sigma * self.cfg.accel_sigma;
+        let (d2, d3, d4) = (dt * dt, dt * dt * dt / 2.0, dt * dt * dt * dt / 4.0);
+        // Discrete white-acceleration Q per axis: [[t⁴/4, t³/2], [t³/2, t²]]·σ².
+        let mut q = [[0.0; 4]; 4];
+        q[0][0] = d4 * q_a;
+        q[1][1] = d4 * q_a;
+        q[0][2] = d3 * q_a;
+        q[2][0] = d3 * q_a;
+        q[1][3] = d3 * q_a;
+        q[3][1] = d3 * q_a;
+        q[2][2] = d2 * q_a;
+        q[3][3] = d2 * q_a;
+
+        let pred = [
+            state[0] + state[2] * dt,
+            state[1] + state[3] * dt,
+            state[2],
+            state[3],
+        ];
+        let p_pred = mat_add(&mat_mul(&mat_mul(&f, &self.cov), &mat_transpose(&f)), &q);
+
+        // Innovation and outlier gate.
+        let iy = [fix.x - pred[0], fix.y - pred[1]];
+        let sx = p_pred[0][0] + r_nominal;
+        let sy = p_pred[1][1] + r_nominal;
+        let maha2 = iy[0] * iy[0] / sx + iy[1] * iy[1] / sy;
+        let gate = self.cfg.gate_sigmas * self.cfg.gate_sigmas;
+        let r = if maha2 > gate {
+            self.outliers += 1;
+            // A gated fix still carries information; fuse it weakly in
+            // proportion to how far outside the gate it fell.
+            r_nominal * (maha2 / gate)
+        } else {
+            r_nominal
+        };
+
+        // Update (H selects position; R = r·I₂).
+        let sx = p_pred[0][0] + r;
+        let sy = p_pred[1][1] + r;
+        // Kalman gain columns for the x and y measurements.
+        let kx = [
+            p_pred[0][0] / sx,
+            p_pred[1][0] / sx,
+            p_pred[2][0] / sx,
+            p_pred[3][0] / sx,
+        ];
+        let ky = [
+            p_pred[0][1] / sy,
+            p_pred[1][1] / sy,
+            p_pred[2][1] / sy,
+            p_pred[3][1] / sy,
+        ];
+        let mut new_state = pred;
+        for i in 0..4 {
+            new_state[i] += kx[i] * iy[0] + ky[i] * iy[1];
+        }
+        // Joseph-free covariance update: P = (I − K H) P'.
+        let mut p_new = p_pred;
+        for i in 0..4 {
+            for j in 0..4 {
+                p_new[i][j] = p_pred[i][j] - kx[i] * p_pred[0][j] - ky[i] * p_pred[1][j];
+            }
+        }
+
+        self.state = Some(new_state);
+        self.cov = p_new;
+        self.fixes += 1;
+        pt(new_state[0], new_state[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(p: Point, sigma: f64, rng: &mut StdRng) -> Point {
+        let g = |r: &mut StdRng| {
+            let u1: f64 = 1.0 - r.gen::<f64>();
+            let u2: f64 = r.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        pt(p.x + sigma * g(rng), p.y + sigma * g(rng))
+    }
+
+    #[test]
+    fn first_fix_initializes() {
+        let mut t = Tracker::new(TrackerConfig::default());
+        assert!(!t.is_initialized());
+        assert_eq!(t.position(), None);
+        let out = t.update(pt(3.0, 4.0), 0.1);
+        assert_eq!(out, pt(3.0, 4.0));
+        assert!(t.is_initialized());
+        assert_eq!(t.fix_count(), 1);
+    }
+
+    #[test]
+    fn static_target_filtered_below_fix_noise() {
+        let target = pt(10.0, 5.0);
+        let sigma = 0.4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Tracker::new(TrackerConfig::default());
+        let mut raw_err = 0.0;
+        let mut filt_err = 0.0;
+        let n = 60;
+        for i in 0..n {
+            let fix = noisy(target, sigma, &mut rng);
+            let est = t.update(fix, 0.1);
+            if i >= 10 {
+                raw_err += fix.distance(target);
+                filt_err += est.distance(target);
+            }
+        }
+        assert!(
+            filt_err < 0.5 * raw_err,
+            "filter should at least halve noise: {filt_err:.2} vs {raw_err:.2}"
+        );
+    }
+
+    #[test]
+    fn tracks_constant_velocity_and_estimates_speed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = Tracker::new(TrackerConfig::default());
+        let v = (1.2, -0.4); // m/s
+        let dt = 0.1;
+        for i in 0..80 {
+            let truth = pt(v.0 * i as f64 * dt, 8.0 + v.1 * i as f64 * dt);
+            t.update(noisy(truth, 0.3, &mut rng), dt);
+        }
+        let (vx, vy) = t.velocity().unwrap();
+        assert!((vx - v.0).abs() < 0.25, "vx {vx}");
+        assert!((vy - v.1).abs() < 0.25, "vy {vy}");
+        // Prediction extrapolates along the velocity.
+        let now = t.position().unwrap();
+        let ahead = t.predict(1.0).unwrap();
+        assert!((ahead.x - now.x - vx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlier_fix_is_gated() {
+        let target = pt(5.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Tracker::new(TrackerConfig::default());
+        for _ in 0..30 {
+            t.update(noisy(target, 0.2, &mut rng), 0.1);
+        }
+        let before = t.position().unwrap();
+        // A wild 20 m outlier (e.g. ghost-location fix).
+        let est = t.update(pt(25.0, 5.0), 0.1);
+        assert!(t.outlier_count() >= 1);
+        assert!(
+            est.distance(before) < 3.0,
+            "outlier moved the track {:.2} m",
+            est.distance(before)
+        );
+        // The track recovers and stays near the target.
+        for _ in 0..10 {
+            t.update(noisy(target, 0.2, &mut rng), 0.1);
+        }
+        assert!(t.position().unwrap().distance(target) < 0.5);
+    }
+
+    #[test]
+    fn covariance_stays_finite_over_long_runs() {
+        let mut t = Tracker::new(TrackerConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..5000 {
+            let truth = pt((i as f64 * 0.01).sin() * 5.0, (i as f64 * 0.007).cos() * 5.0);
+            let est = t.update(noisy(truth, 0.3, &mut rng), 0.1);
+            assert!(est.x.is_finite() && est.y.is_finite(), "step {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics_after_init() {
+        let mut t = Tracker::new(TrackerConfig::default());
+        t.update(pt(0.0, 0.0), 0.1);
+        t.update(pt(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite fix")]
+    fn nan_fix_panics() {
+        let mut t = Tracker::new(TrackerConfig::default());
+        t.update(pt(f64::NAN, 0.0), 0.1);
+    }
+}

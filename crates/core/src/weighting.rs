@@ -1,0 +1,104 @@
+//! Array geometry weighting (paper §2.3.3, eq. 7).
+//!
+//! A linear array's bearing resolution collapses near its own axis: the
+//! derivative of the inter-element phase `π·cosθ` vanishes as `θ → 0°` or
+//! `180°`. ArrayTrack therefore de-weights spectrum information near the
+//! axis with the window
+//!
+//! ```text
+//! W(θ) = 1      if 15° < |θ| < 165°
+//!        sin θ  otherwise
+//! ```
+//!
+//! extended symmetrically to the full circle (the axis pathology is the
+//! same on both sides of the array).
+
+use crate::spectrum::AoaSpectrum;
+use std::f64::consts::PI;
+
+/// Lower edge of the full-confidence region, radians (15°).
+pub const INNER_EDGE: f64 = 15.0 * PI / 180.0;
+
+/// The geometry window `W(θ)` for a bearing measured from the array axis,
+/// evaluated on the folded angle so both mirror sides are treated alike.
+pub fn geometry_weight(theta: f64) -> f64 {
+    // Fold to [0, π]: the angular distance from the array axis.
+    let folded = {
+        let t = theta.rem_euclid(2.0 * PI);
+        if t > PI {
+            2.0 * PI - t
+        } else {
+            t
+        }
+    };
+    if folded > INNER_EDGE && folded < PI - INNER_EDGE {
+        1.0
+    } else {
+        folded.sin().abs()
+    }
+}
+
+/// Applies the geometry window to a spectrum in place.
+pub fn apply_geometry_weighting(spectrum: &mut AoaSpectrum) {
+    spectrum.apply_window(geometry_weight);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_region_is_unweighted() {
+        for deg in [20.0f64, 45.0, 90.0, 120.0, 160.0] {
+            assert_eq!(geometry_weight(deg.to_radians()), 1.0, "{deg}°");
+        }
+    }
+
+    #[test]
+    fn axis_endpoints_are_zeroed() {
+        assert!(geometry_weight(0.0) < 1e-12);
+        assert!(geometry_weight(PI) < 1e-12);
+        assert!(geometry_weight(2.0 * PI - 1e-9) < 1e-6);
+    }
+
+    #[test]
+    fn edge_region_follows_sine() {
+        let t = 10f64.to_radians();
+        assert!((geometry_weight(t) - t.sin()).abs() < 1e-12);
+        let t2 = 170f64.to_radians();
+        assert!((geometry_weight(t2) - t2.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_is_mirror_symmetric() {
+        for deg in [5.0f64, 30.0, 90.0, 170.0] {
+            let t = deg.to_radians();
+            let a = geometry_weight(t);
+            let b = geometry_weight(2.0 * PI - t);
+            assert!((a - b).abs() < 1e-12, "{deg}°");
+        }
+    }
+
+    #[test]
+    fn weight_is_continuous_at_edges() {
+        // sin(15°) ≈ 0.259 jumps to 1.0 in the paper's formula — the window
+        // as specified is discontinuous; verify we reproduce the spec
+        // rather than smoothing it.
+        let just_in = geometry_weight(15.1f64.to_radians());
+        let just_out = geometry_weight(14.9f64.to_radians());
+        assert_eq!(just_in, 1.0);
+        assert!((just_out - 14.9f64.to_radians().sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn applying_window_deweights_axis_peaks() {
+        let mut s = AoaSpectrum::from_fn(360, |t| {
+            // Peaks near 5° (axis) and 90° (broadside).
+            (-((t - 0.087) / 0.1).powi(2)).exp() + (-((t - 1.571) / 0.1).powi(2)).exp() + 1e-6
+        });
+        apply_geometry_weighting(&mut s);
+        let peaks = s.find_peaks(0.1);
+        // The broadside peak must now dominate.
+        assert!((peaks[0].theta - 1.571).abs() < 0.05);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for ArrayTrack's core algorithms.
+
+use at_core::music::{music_analysis_from_rxx, MusicConfig};
+use at_core::smoothing::{spatial_smooth, spatial_smooth_fb};
+use at_core::spectrum::AoaSpectrum;
+use at_core::steering::ula_steering;
+use at_core::suppression::{suppress_multipath, SuppressionConfig};
+use at_core::synthesis::{heatmap, likelihood, normalize_observations, ApObservation, ApPose, SearchRegion};
+use at_core::weighting::geometry_weight;
+use at_channel::geometry::{angle_diff, pt};
+use at_linalg::{eigh, CMatrix, CVector, Complex64};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+/// A synthetic correlation matrix from random incoherent sources + noise.
+fn rxx_strategy() -> impl Strategy<Value = CMatrix> {
+    (
+        proptest::collection::vec((0.2f64..3.0, 0.2f64..1.5), 1..4),
+        0.001f64..0.2,
+    )
+        .prop_map(|(sources, noise)| {
+            let m = 8;
+            let mut r = CMatrix::zeros(m, m);
+            for (theta, amp) in sources {
+                let a = ula_steering(m, theta);
+                let v = CVector::from_fn(m, |i| a[i].scale(amp));
+                r.add_outer_assign(&v, 1.0);
+            }
+            for i in 0..m {
+                r[(i, i)] += Complex64::real(noise);
+            }
+            r
+        })
+}
+
+fn lobe_spectrum(centers: &[(f64, f64)]) -> AoaSpectrum {
+    let cs = centers.to_vec();
+    AoaSpectrum::from_fn(720, move |t| {
+        let mut v = 1e-6;
+        for &(c, p) in &cs {
+            v += p * (-(angle_diff(t, c) / 0.08).powi(2)).exp();
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn music_spectrum_is_finite_positive_and_mirror_symmetric(rxx in rxx_strategy()) {
+        let analysis = music_analysis_from_rxx(&rxx, &MusicConfig::default());
+        let spec = analysis.spectrum;
+        let n = spec.bins();
+        for v in spec.values() {
+            prop_assert!(v.is_finite() && *v > 0.0);
+        }
+        for i in 1..n / 2 {
+            let a = spec.values()[i];
+            let b = spec.values()[n - i];
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+        }
+        prop_assert!(analysis.signals >= 1);
+        prop_assert!(analysis.signals < analysis.effective_antennas);
+    }
+
+    #[test]
+    fn smoothing_dimension_and_psd(rxx in rxx_strategy(), groups in 1usize..4) {
+        let s = spatial_smooth(&rxx, groups);
+        prop_assert_eq!(s.rows(), 8 - groups + 1);
+        prop_assert!(s.is_hermitian(1e-9));
+        let e = eigh(&s).unwrap();
+        for l in e.eigenvalues {
+            prop_assert!(l > -1e-9 * (1.0 + s.frobenius_norm()));
+        }
+        let fb = spatial_smooth_fb(&rxx, groups);
+        prop_assert!(fb.is_hermitian(1e-9));
+        // FB preserves the trace of the forward-smoothed matrix.
+        prop_assert!((fb.trace().re - s.trace().re).abs() < 1e-9 * (1.0 + s.trace().re));
+    }
+
+    #[test]
+    fn geometry_weight_bounds_and_symmetry(theta in -10.0f64..10.0) {
+        let w = geometry_weight(theta);
+        prop_assert!((0.0..=1.0).contains(&w));
+        prop_assert!((w - geometry_weight(-theta)).abs() < 1e-12);
+        prop_assert!((w - geometry_weight(theta + TAU)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suppression_never_amplifies(
+        c1 in 0.3f64..2.8, c2 in 3.5f64..6.0, p2 in 0.2f64..1.0
+    ) {
+        let a = lobe_spectrum(&[(c1, 1.0), (c2, p2)]);
+        let b = lobe_spectrum(&[(c1, 1.0)]);
+        let out = suppress_multipath(&[a.clone(), b], &SuppressionConfig::default());
+        for (o, orig) in out.values().iter().zip(a.values()) {
+            prop_assert!(*o <= orig + 1e-12, "suppression must only attenuate");
+        }
+    }
+
+    #[test]
+    fn suppression_is_identity_on_identical_spectra(
+        c1 in 0.3f64..2.8, c2 in 3.5f64..6.0
+    ) {
+        let a = lobe_spectrum(&[(c1, 1.0), (c2, 0.6)]);
+        let out = suppress_multipath(&[a.clone(), a.clone(), a.clone()],
+                                     &SuppressionConfig::default());
+        for (o, orig) in out.values().iter().zip(a.values()) {
+            prop_assert!((o - orig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn likelihood_positive_and_heatmap_consistent(
+        cx in 2.0f64..18.0, cy in 2.0f64..8.0
+    ) {
+        let target = pt(cx, cy);
+        let obs: Vec<ApObservation> = [(pt(0.0, 0.0), 0.3), (pt(20.0, 0.0), 2.2)]
+            .iter()
+            .map(|&(center, axis)| {
+                let pose = ApPose { center, axis_angle: axis };
+                ApObservation {
+                    pose,
+                    spectrum: lobe_spectrum(&[(pose.bearing_to(target), 1.0)]),
+                }
+            })
+            .collect();
+        let obs = normalize_observations(&obs);
+        let l_true = likelihood(&obs, target);
+        prop_assert!(l_true > 0.0 && l_true.is_finite());
+        // The heatmap's best cell is at least as likely as a random point.
+        let region = SearchRegion::new(pt(0.0, 0.0), pt(20.0, 10.0)).with_resolution(0.5);
+        let map = heatmap(&obs, region);
+        let (top, top_l) = map.top_cells(1)[0];
+        prop_assert!(top_l + 1e-12 >= likelihood(&obs, pt(1.0, 1.0)));
+        // And near the target (within a couple of cells).
+        prop_assert!(top.distance(target) < 1.5, "top {top:?} vs target {target:?}");
+    }
+
+    #[test]
+    fn spectrum_sample_interpolates_between_bins(values in proptest::collection::vec(0.01f64..5.0, 16)) {
+        let s = AoaSpectrum::from_values(values.clone());
+        for i in 0..16 {
+            let theta = i as f64 * TAU / 16.0;
+            prop_assert!((s.sample(theta) - values[i]).abs() < 1e-12);
+            // Midpoints are between neighbors.
+            let mid = s.sample(theta + TAU / 32.0);
+            let lo = values[i].min(values[(i + 1) % 16]);
+            let hi = values[i].max(values[(i + 1) % 16]);
+            prop_assert!(mid >= lo - 1e-12 && mid <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_lobe_only_touches_one_lobe(c1 in 0.5f64..2.5, c2 in 3.7f64..5.8) {
+        let mut s = lobe_spectrum(&[(c1, 1.0), (c2, 0.8)]);
+        let orig = s.clone();
+        s.scale_lobe(c2, 0.1);
+        // Values at the other lobe's apex are untouched.
+        prop_assert!((s.sample(c1) - orig.sample(c1)).abs() < 1e-12);
+        // The scaled lobe is attenuated.
+        prop_assert!(s.sample(c2) < 0.5 * orig.sample(c2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Radix-2 iterative fast Fourier transform.
+//!
+//! Used for OFDM symbol synthesis/analysis (64-point at 20 MHz channel
+//! bandwidth) and for spectrum inspection in tests. Sizes must be powers of
+//! two, which all 802.11 OFDM block sizes are.
+
+use at_linalg::Complex64;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time → frequency, kernel `e^{-j2πkn/N}`.
+    Forward,
+    /// Frequency → time, kernel `e^{+j2πkn/N}` with `1/N` normalization.
+    Inverse,
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// Out-of-place forward FFT.
+pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut out = input.to_vec();
+    fft_in_place(&mut out, Direction::Forward);
+    out
+}
+
+/// Out-of-place inverse FFT (normalized by `1/N`).
+pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut out = input.to_vec();
+    fft_in_place(&mut out, Direction::Inverse);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_linalg::c64;
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let spec = fft(&x);
+        for s in spec {
+            assert!((s - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * PI * k as f64 * t as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (bin, s) in spec.iter().enumerate() {
+            if bin == k {
+                assert!((s.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(s.abs() < 1e-9, "leakage in bin {bin}: {}", s.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x: Vec<Complex64> = (0..32)
+            .map(|i| c64((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let back = ifft(&fft(&x));
+        assert!(max_err(&x, &back) < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..16).map(|i| c64(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex64> = (0..16).map(|i| c64(1.0, i as f64 * 0.5)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fsum, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| c64((i as f64 * 0.3).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let spec = fft(&x);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft_in_place(&mut x, Direction::Forward);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = vec![c64(3.0, 4.0)];
+        assert_eq!(fft(&x), x);
+    }
+}

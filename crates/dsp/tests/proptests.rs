@@ -1,0 +1,93 @@
+//! Property-based tests for the DSP substrate.
+
+use at_dsp::awgn::{db_to_linear, linear_to_db, mean_power, NoiseSource};
+use at_dsp::corr::SnapshotBlock;
+use at_dsp::fft::{fft, ifft};
+use at_dsp::preamble::{Preamble, PREAMBLE_S};
+use at_linalg::{c64, eigh, Complex64};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn complex() -> impl Strategy<Value = Complex64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))
+}
+
+proptest! {
+    #[test]
+    fn fft_round_trip(xs in proptest::collection::vec(complex(), 16)) {
+        let back = ifft(&fft(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(xs in proptest::collection::vec(complex(), 32)) {
+        let te: f64 = xs.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = fft(&xs).iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((te - fe).abs() < 1e-7 * (1.0 + te));
+    }
+
+    #[test]
+    fn db_round_trip(db in -60.0f64..60.0) {
+        prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preamble_is_bounded_and_finite(t in -1e-6f64..20e-6) {
+        let p = Preamble::new();
+        let v = p.eval(t);
+        prop_assert!(v.is_finite());
+        // Sum of ≤52 unit tones with 1/√52 scale can't exceed √52.
+        prop_assert!(v.abs() <= 52.0f64.sqrt() + 1e-9);
+        if !(0.0..PREAMBLE_S).contains(&t) {
+            prop_assert_eq!(v, Complex64::ZERO);
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_always_psd_hermitian(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(complex(), 6), 2..5)
+    ) {
+        let block = SnapshotBlock::new(streams);
+        let r = block.correlation_matrix();
+        prop_assert!(r.is_hermitian(1e-9));
+        let e = eigh(&r).unwrap();
+        let scale = 1.0 + r.frobenius_norm();
+        for l in e.eigenvalues {
+            prop_assert!(l > -1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn noise_power_scales_linearly(power in 0.01f64..10.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = NoiseSource::with_power(power);
+        let n: Vec<Complex64> = (0..4000).map(|_| src.sample(&mut rng)).collect();
+        let p = mean_power(&n);
+        prop_assert!((p - power).abs() < 0.15 * power + 0.01, "target {power} got {p}");
+    }
+
+    #[test]
+    fn truncated_block_correlation_uses_prefix(k in 1usize..8) {
+        let streams: Vec<Vec<Complex64>> = (0..3)
+            .map(|m| (0..8).map(|t| Complex64::cis((m * t) as f64 * 0.37)).collect())
+            .collect();
+        let full = SnapshotBlock::new(streams);
+        let trunc = full.truncated(k);
+        prop_assert_eq!(trunc.snapshots(), k.min(8));
+        // Manual prefix correlation must match.
+        let manual = SnapshotBlock::new(
+            (0..3).map(|m| full.stream(m)[..k.min(8)].to_vec()).collect(),
+        )
+        .correlation_matrix();
+        let r = trunc.correlation_matrix();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((r[(i, j)] - manual[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

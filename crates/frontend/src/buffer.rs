@@ -1,0 +1,171 @@
+//! Circular frame buffer (paper §2.1, Figure 1).
+//!
+//! Each detected frame gets one logical buffer entry holding the captured
+//! preamble snippet plus metadata; the buffer is bounded and evicts the
+//! oldest entry when full, like the FPGA design's on-board circular buffer.
+
+use at_dsp::SnapshotBlock;
+use std::collections::VecDeque;
+
+/// One buffered frame capture.
+#[derive(Clone, Debug)]
+pub struct FrameEntry {
+    /// Captured per-antenna snapshots (already calibrated or raw, per the
+    /// producer's choice).
+    pub block: SnapshotBlock,
+    /// Capture timestamp, seconds since AP start (used by the multipath
+    /// suppression step's 100 ms grouping window, §2.4).
+    pub timestamp: f64,
+    /// Opaque client identifier (e.g. derived from MAC); the suppression
+    /// step groups frames per client.
+    pub client_id: u64,
+    /// Detector confidence that produced this entry.
+    pub detection_metric: f64,
+}
+
+/// A bounded circular buffer of frame entries.
+#[derive(Clone, Debug)]
+pub struct FrameBuffer {
+    entries: VecDeque<FrameEntry>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl FrameBuffer {
+    /// A buffer holding up to `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Pushes a frame, evicting the oldest entry if full.
+    pub fn push(&mut self, entry: FrameEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Number of buffered frames.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total frames evicted since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &FrameEntry> {
+        self.entries.iter()
+    }
+
+    /// Drains and returns, oldest-first, all frames for `client_id` whose
+    /// timestamps fall within `window_s` of the newest such frame — the
+    /// grouping the multipath-suppression algorithm consumes (§2.4 step 1).
+    pub fn take_recent_group(&mut self, client_id: u64, window_s: f64) -> Vec<FrameEntry> {
+        let newest = self
+            .entries
+            .iter()
+            .filter(|e| e.client_id == client_id)
+            .map(|e| e.timestamp)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if newest == f64::NEG_INFINITY {
+            return Vec::new();
+        }
+        let mut group = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if e.client_id == client_id && newest - e.timestamp <= window_s {
+                group.push(e);
+            } else {
+                keep.push_back(e);
+            }
+        }
+        self.entries = keep;
+        group.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).expect("finite times"));
+        group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_linalg::Complex64;
+
+    fn entry(ts: f64, client: u64) -> FrameEntry {
+        FrameEntry {
+            block: SnapshotBlock::new(vec![vec![Complex64::ONE; 2]]),
+            timestamp: ts,
+            client_id: client,
+            detection_metric: 1.0,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut buf = FrameBuffer::new(4);
+        assert!(buf.is_empty());
+        buf.push(entry(0.0, 1));
+        buf.push(entry(0.1, 1));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.evicted(), 0);
+    }
+
+    #[test]
+    fn eviction_drops_oldest() {
+        let mut buf = FrameBuffer::new(2);
+        buf.push(entry(0.0, 1));
+        buf.push(entry(1.0, 2));
+        buf.push(entry(2.0, 3));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.evicted(), 1);
+        let clients: Vec<u64> = buf.iter().map(|e| e.client_id).collect();
+        assert_eq!(clients, vec![2, 3]);
+    }
+
+    #[test]
+    fn recent_group_respects_window_and_client() {
+        let mut buf = FrameBuffer::new(8);
+        buf.push(entry(0.00, 7)); // too old (window 0.1 from newest=0.25)
+        buf.push(entry(0.20, 7));
+        buf.push(entry(0.22, 9)); // other client
+        buf.push(entry(0.25, 7));
+        let group = buf.take_recent_group(7, 0.1);
+        assert_eq!(group.len(), 2);
+        assert!((group[0].timestamp - 0.20).abs() < 1e-12);
+        assert!((group[1].timestamp - 0.25).abs() < 1e-12);
+        // Non-group entries remain.
+        assert_eq!(buf.len(), 2);
+        // Taking again returns nothing new for client 7 except the old frame.
+        let rest = buf.take_recent_group(7, 1.0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next().unwrap().client_id, 9);
+    }
+
+    #[test]
+    fn group_for_unknown_client_is_empty() {
+        let mut buf = FrameBuffer::new(2);
+        buf.push(entry(0.0, 1));
+        assert!(buf.take_recent_group(42, 1.0).is_empty());
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        FrameBuffer::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the complex linear-algebra substrate.
+
+use at_linalg::{c64, eigh, CMatrix, CVector, Complex64};
+use proptest::prelude::*;
+
+/// Strategy: a finite complex number with moderate magnitude.
+fn complex() -> impl Strategy<Value = Complex64> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(re, im)| c64(re, im))
+}
+
+/// Strategy: an `n × n` Hermitian matrix built as `B + Bᴴ`.
+fn hermitian(n: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec(complex(), n * n).prop_map(move |data| {
+        let b = CMatrix::from_rows(n, n, data);
+        let bh = b.hermitian_transpose();
+        (&b + &bh).scale(0.5)
+    })
+}
+
+fn cvec(n: usize) -> impl Strategy<Value = CVector> {
+    proptest::collection::vec(complex(), n).prop_map(CVector::from)
+}
+
+fn mat_err(a: &CMatrix, b: &CMatrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_is_associative(a in complex(), b in complex(), c in complex()) {
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!((lhs - rhs).abs() / scale < 1e-10);
+    }
+
+    #[test]
+    fn complex_conj_mul_norm(a in complex()) {
+        prop_assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-8 * (1.0 + a.norm_sqr()));
+    }
+
+    #[test]
+    fn polar_round_trips(a in complex()) {
+        let (r, th) = a.to_polar();
+        let back = Complex64::from_polar(r, th);
+        prop_assert!((a - back).abs() < 1e-10 * (1.0 + r));
+    }
+
+    #[test]
+    fn dot_is_conjugate_symmetric(a in cvec(6), b in cvec(6)) {
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        let scale = 1.0 + ab.abs();
+        prop_assert!((ab - ba.conj()).abs() / scale < 1e-10);
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in cvec(5), b in cvec(5)) {
+        let lhs = a.dot(&b).abs();
+        let rhs = a.norm() * b.norm();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-10) + 1e-12);
+    }
+
+    #[test]
+    fn matmul_respects_hermitian_transpose(data in proptest::collection::vec(complex(), 9)) {
+        // (AB)ᴴ = Bᴴ Aᴴ
+        let a = CMatrix::from_rows(3, 3, data.clone());
+        let b = CMatrix::from_rows(3, 3, data.iter().rev().cloned().collect());
+        let lhs = (&a * &b).hermitian_transpose();
+        let rhs = &b.hermitian_transpose() * &a.hermitian_transpose();
+        prop_assert!(mat_err(&lhs, &rhs) < 1e-8 * (1.0 + lhs.frobenius_norm()));
+    }
+
+    #[test]
+    fn eigh_reconstructs(m in hermitian(4)) {
+        let e = eigh(&m).unwrap();
+        let err = mat_err(&e.reconstruct(), &m);
+        prop_assert!(err < 1e-8 * (1.0 + m.frobenius_norm()), "reconstruction err {err}");
+    }
+
+    #[test]
+    fn eigh_eigenvectors_unitary(m in hermitian(5)) {
+        let e = eigh(&m).unwrap();
+        let vhv = &e.eigenvectors.hermitian_transpose() * &e.eigenvectors;
+        prop_assert!(mat_err(&vhv, &CMatrix::identity(5)) < 1e-9);
+    }
+
+    #[test]
+    fn eigh_eigenvalues_sorted_and_trace_preserved(m in hermitian(6)) {
+        let e = eigh(&m).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((sum - m.trace().re).abs() < 1e-8 * (1.0 + m.trace().re.abs()));
+    }
+
+    #[test]
+    fn eigh_satisfies_eigen_equation(m in hermitian(3)) {
+        let e = eigh(&m).unwrap();
+        for k in 0..3 {
+            let v = e.eigenvector(k);
+            let av = m.mul_vec(&v);
+            let lv = v.scale(e.eigenvalues[k]);
+            prop_assert!((&av - &lv).norm() < 1e-8 * (1.0 + m.frobenius_norm()));
+        }
+    }
+
+    #[test]
+    fn psd_correlation_matrix_has_nonnegative_eigenvalues(
+        vs in proptest::collection::vec(cvec(4), 1..6)
+    ) {
+        // Sample correlation matrices (sums of outer products) are PSD.
+        let mut r = CMatrix::zeros(4, 4);
+        for v in &vs {
+            r.add_outer_assign(v, 1.0 / vs.len() as f64);
+        }
+        let e = eigh(&r).unwrap();
+        let scale = 1.0 + r.frobenius_norm();
+        for l in e.eigenvalues {
+            prop_assert!(l > -1e-8 * scale, "negative eigenvalue {l}");
+        }
+    }
+}

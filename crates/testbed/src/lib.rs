@@ -1,0 +1,34 @@
+//! # at-testbed — the simulated 41-client / 6-AP office deployment
+//!
+//! The experimental apparatus of the paper's §4, rebuilt in simulation:
+//!
+//! - [`office`]: the Fig. 12 floorplan (concrete shell, drywall offices,
+//!   glass conference room, metal elevator core, two pillars), the six AP
+//!   poses, and the 41 client ground-truth positions;
+//! - [`deployment`]: APs with simulated WARP front ends, per-AP CW-tone
+//!   calibration, frame capture via diversity synthesis, and RSS readings;
+//! - [`experiments`]: the sweep engine — per-(client, AP) spectra, AP
+//!   subset enumeration, and the localization loops behind Figs. 13–18;
+//! - [`metrics`]: error CDFs, medians, means, percentiles;
+//! - [`baselines`]: RSSI log-distance trilateration and RADAR-style
+//!   fingerprinting for the related-work comparison;
+//! - [`stream`]: the live Figure-1 loop — frames arriving over time, per-AP
+//!   circular buffers, 100 ms grouping, suppression, fusion and tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod deployment;
+pub mod experiments;
+pub mod metrics;
+pub mod office;
+pub mod stream;
+
+pub use deployment::{parallel_map, Ap, CaptureConfig, Deployment};
+pub use experiments::{
+    ap_subsets, compute_all_spectra, compute_spectrum, localization_sweep, localize_subset,
+    ExperimentConfig,
+};
+pub use metrics::ErrorStats;
+pub use stream::{run_stream, FixEvent, StreamClient, StreamConfig, StreamReport};

@@ -1,0 +1,83 @@
+//! Property-based tests for the testbed's metrics and sweep machinery.
+
+use at_testbed::{ap_subsets, ErrorStats};
+use proptest::prelude::*;
+
+/// n choose k.
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut r = 1usize;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone(mut xs in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        xs.iter_mut().for_each(|x| *x = x.abs());
+        let s = ErrorStats::new(xs);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= prev - 1e-12, "p{p}: {v} < {prev}");
+            prev = v;
+        }
+        prop_assert!((s.median() - s.percentile(50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_inverts_percentile(xs in proptest::collection::vec(0.0f64..50.0, 2..64)) {
+        let n = xs.len();
+        let s = ErrorStats::new(xs);
+        for p in [10.0, 50.0, 90.0] {
+            let v = s.percentile(p);
+            // Linear interpolation sits between sorted ranks ⌊r⌋ and ⌈r⌉
+            // with r = p/100·(n−1), so at least ⌊r⌋+1 samples are ≤ v.
+            let rank = p / 100.0 * (n - 1) as f64;
+            let guaranteed = (rank.floor() as usize + 1) as f64 / n as f64;
+            prop_assert!(s.cdf_at(v + 1e-9) >= guaranteed - 1e-9);
+        }
+        prop_assert_eq!(s.cdf_at(f64::MAX), 1.0);
+        prop_assert_eq!(s.cdf_at(-1.0), 0.0);
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(xs in proptest::collection::vec(0.0f64..10.0, 1..32)) {
+        let s = ErrorStats::new(xs);
+        prop_assert!(s.mean() >= s.percentile(0.0) - 1e-12);
+        prop_assert!(s.mean() <= s.percentile(100.0) + 1e-12);
+    }
+
+    #[test]
+    fn subset_counts_are_binomial(n in 1usize..8, k in 1usize..8) {
+        let subsets = ap_subsets(n, k);
+        prop_assert_eq!(subsets.len(), binomial(n, k));
+        // Each subset is sorted, unique, in range.
+        for s in &subsets {
+            prop_assert_eq!(s.len(), k.min(s.len()));
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.iter().all(|&i| i < n));
+        }
+        // All subsets distinct.
+        let mut sorted = subsets.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), subsets.len());
+    }
+
+    #[test]
+    fn cdf_points_trace_the_samples(xs in proptest::collection::vec(0.0f64..10.0, 1..48)) {
+        let s = ErrorStats::new(xs.clone());
+        let pts = s.cdf_points();
+        prop_assert_eq!(pts.len(), xs.len());
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for (i, (e, f)) in pts.iter().enumerate() {
+            prop_assert!((f - (i + 1) as f64 / xs.len() as f64).abs() < 1e-12);
+            prop_assert!(e.is_finite());
+        }
+    }
+}

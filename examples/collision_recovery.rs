@@ -1,0 +1,93 @@
+//! Collision recovery: two clients transmit overlapping frames and
+//! ArrayTrack extracts both angles of arrival via successive interference
+//! cancellation (paper §4.3.5).
+//!
+//! ```sh
+//! cargo run --release --example collision_recovery
+//! ```
+
+use arraytrack::channel::geometry::pt;
+use arraytrack::channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+use arraytrack::core::sic::{process_collision, SicConfig};
+use arraytrack::dsp::preamble::{Frame, PREAMBLE_S, SAMPLE_RATE_HZ};
+use arraytrack::dsp::NoiseSource;
+use arraytrack::linalg::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let floorplan = Floorplan::empty();
+    let sim = ChannelSim::new(&floorplan);
+    let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+
+    // Two clients at different bearings.
+    let theta_a = 55f64.to_radians();
+    let theta_b = 120f64.to_radians();
+    let client_a = array.point_at(theta_a, 8.0);
+    let client_b = array.point_at(theta_b, 11.0);
+    println!("client A at bearing {:.0}°, client B at bearing {:.0}°", 55.0, 120.0);
+
+    // Client B starts mid-way through client A's body: a collision, but
+    // the preambles don't overlap.
+    let mut rng = StdRng::seed_from_u64(5);
+    let frame_a = Frame::with_random_body(10, &mut rng);
+    let frame_b = Frame::with_random_body(10, &mut rng);
+    let offset = PREAMBLE_S + 10.0e-6;
+    let span = offset + frame_b.duration() + 5e-6;
+
+    let rx_a = sim.receive(
+        &Transmitter::at(client_a),
+        &array,
+        |t| frame_a.eval(t),
+        0.0,
+        span,
+        SAMPLE_RATE_HZ,
+    );
+    let rx_b = sim.receive(
+        &Transmitter::at(client_b),
+        &array,
+        |t| frame_b.eval(t - offset),
+        0.0,
+        span,
+        SAMPLE_RATE_HZ,
+    );
+    let noise = NoiseSource::with_power(1e-9);
+    let streams: Vec<Vec<Complex64>> = rx_a
+        .into_iter()
+        .zip(rx_b)
+        .map(|(a, b)| {
+            let mut s: Vec<Complex64> = a.into_iter().zip(b).map(|(x, y)| x + y).collect();
+            noise.corrupt(&mut s, &mut rng);
+            s
+        })
+        .collect();
+
+    let result = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default())
+        .expect("preambles do not overlap, so both AoAs are recoverable");
+
+    println!(
+        "detected frame starts: samples {} and {}",
+        result.starts.0, result.starts.1
+    );
+    let top = |s: &arraytrack::core::AoaSpectrum| {
+        s.find_peaks(0.3)
+            .iter()
+            .take(2)
+            .map(|p| format!("{:.1}°", p.theta.to_degrees()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("frame 1 AoA peaks:               {}", top(&result.first));
+    println!("frame 2 AoA peaks (after SIC):   {}", top(&result.second));
+
+    // The first spectrum must point at A (or its mirror); the second, after
+    // cancelling A's peaks, at B.
+    let near = |spec: &arraytrack::core::AoaSpectrum, theta: f64| {
+        spec.has_peak_near(theta, 0.1, 0.3)
+            || spec.has_peak_near(std::f64::consts::TAU - theta, 0.1, 0.3)
+    };
+    assert!(near(&result.first, theta_a), "frame 1 should contain A");
+    assert!(near(&result.second, theta_b), "frame 2 should contain B after SIC");
+    assert!(!near(&result.second, theta_a), "A should be cancelled from frame 2");
+    println!("SIC succeeded: both clients' bearings recovered from one collision");
+}

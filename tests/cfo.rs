@@ -1,0 +1,140 @@
+//! Integration tests for client carrier-frequency offset: CFO must not
+//! disturb in-row MUSIC, must corrupt uncorrected diversity synthesis, and
+//! must be fully absorbed by the estimate-and-derotate path.
+
+use arraytrack::channel::geometry::{angle_diff, pt};
+use arraytrack::channel::Transmitter;
+use arraytrack::core::pipeline::{process_frame, ApPipelineConfig, SymmetryMode};
+use arraytrack::core::symmetry::dominant_side;
+use arraytrack::dsp::cfo::max_cfo_hz;
+use arraytrack::testbed::{CaptureConfig, Deployment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A worst-case-tolerance client CFO (+20 ppm).
+fn big_cfo() -> f64 {
+    max_cfo_hz()
+}
+
+#[test]
+fn cfo_does_not_disturb_inrow_music() {
+    // The CFO rotation is common-mode across antennas: the correlation
+    // matrix (x·xᴴ) cancels it, so plain MUSIC bearings are unaffected.
+    let dep = Deployment::free_space(1);
+    let cfg = CaptureConfig {
+        offrow: false,
+        ..CaptureConfig::default()
+    };
+    let client = pt(20.0, 12.0);
+    let truth = dep.aps[0].pose.bearing_to(client);
+    let mut pipeline = ApPipelineConfig::arraytrack(8);
+    pipeline.symmetry = SymmetryMode::Off;
+    pipeline.weighting = false;
+
+    let bearing = |cfo: f64, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tx = Transmitter::at(client).with_cfo(cfo);
+        let block = dep.capture_frame(0, client, &tx, &cfg, &mut rng);
+        process_frame(&block, &pipeline).find_peaks(0.5)[0].theta
+    };
+    let b0 = bearing(0.0, 5);
+    let b1 = bearing(big_cfo(), 5);
+    let fold = |b: f64| angle_diff(b, truth).min(angle_diff(b, std::f64::consts::TAU - truth));
+    assert!(fold(b0) < 2f64.to_radians());
+    assert!(fold(b1) < 2f64.to_radians(), "CFO shifted in-row MUSIC: {b1}");
+}
+
+#[test]
+fn cfo_rotates_the_offrow_set_and_correction_removes_it() {
+    // The diversity-synthesized lower set (S1 capture) picks up exactly
+    // 2π·Δf·3.2 µs of phase relative to the upper set; the corrected
+    // capture must match the zero-CFO capture.
+    let dep = Deployment::free_space(2);
+    let client = pt(20.0, 18.0);
+    let cfo = big_cfo();
+    let expected_rot = std::f64::consts::TAU
+        * cfo
+        * arraytrack::dsp::cfo::LTS_SEPARATION_S;
+
+    let offrow_phase = |cfo_hz: f64, correct: bool| -> f64 {
+        let cfg = CaptureConfig {
+            cfo_correction: correct,
+            noise_power: 1e-14, // near-noiseless: isolate the CFO effect
+            ..CaptureConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let tx = Transmitter::at(client).with_cfo(cfo_hz);
+        let block = dep.capture_frame(0, client, &tx, &cfg, &mut rng);
+        // Phase of the off-row antenna relative to in-row antenna 0.
+        let mut acc = arraytrack::linalg::Complex64::ZERO;
+        for (a, b) in block.stream(8).iter().zip(block.stream(0)) {
+            acc += *a * b.conj();
+        }
+        acc.arg()
+    };
+
+    let clean = offrow_phase(0.0, false);
+    let uncorrected = offrow_phase(cfo, false);
+    let corrected = offrow_phase(cfo, true);
+
+    let wrap = |x: f64| {
+        let t = x.rem_euclid(std::f64::consts::TAU);
+        if t > std::f64::consts::PI { t - std::f64::consts::TAU } else { t }
+    };
+    let drift = wrap(uncorrected - clean).abs();
+    assert!(
+        (drift - expected_rot).abs() < 0.05,
+        "uncorrected drift {drift:.3} rad, expected {expected_rot:.3}"
+    );
+    assert!(
+        wrap(corrected - clean).abs() < 0.02,
+        "corrected capture should match the zero-CFO capture"
+    );
+}
+
+#[test]
+fn corrected_cfo_preserves_side_decisions() {
+    let dep = Deployment::free_space(7);
+    let cfg = CaptureConfig::default();
+    for (i, &client) in dep.clients.iter().take(6).enumerate() {
+        let mut rng = StdRng::seed_from_u64(40 + i as u64);
+        let tx = Transmitter::at(client).with_cfo(big_cfo());
+        let block = dep.capture_frame(0, client, &tx, &cfg, &mut rng);
+        let truth_bearing = dep.aps[0].pose.bearing_to(client);
+        let truth = if truth_bearing < std::f64::consts::PI {
+            arraytrack::core::symmetry::Side::Upper
+        } else {
+            arraytrack::core::symmetry::Side::Lower
+        };
+        assert_eq!(dominant_side(&block, 8), truth, "client {i}");
+    }
+}
+
+#[test]
+fn corrected_cfo_localization_matches_no_cfo() {
+    use arraytrack::core::synthesis::{localize, ApObservation};
+    let dep = Deployment::free_space(3);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let client = pt(28.0, 10.0);
+    let region = dep.search_region().with_resolution(0.2);
+
+    let run = |cfo: f64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tx = Transmitter::at(client).with_cfo(cfo);
+        let obs: Vec<ApObservation> = (0..6)
+            .map(|ap| {
+                let block = dep.capture_frame(ap, client, &tx, &cfg, &mut rng);
+                ApObservation {
+                    pose: dep.aps[ap].pose,
+                    spectrum: process_frame(&block, &pipeline),
+                }
+            })
+            .collect();
+        localize(&obs, region).position.distance(client)
+    };
+    let e_clean = run(0.0);
+    let e_cfo = run(big_cfo());
+    assert!(e_clean < 0.3, "clean error {e_clean:.2}");
+    assert!(e_cfo < 0.4, "CFO-corrected error {e_cfo:.2}");
+}

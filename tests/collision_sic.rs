@@ -1,0 +1,114 @@
+//! Integration tests for collision handling (§4.3.5) across the channel,
+//! detector, and SIC modules.
+
+use arraytrack::channel::geometry::{angle_diff, pt};
+use arraytrack::channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+use arraytrack::core::sic::{process_collision, SicConfig, SicError};
+use arraytrack::dsp::preamble::{Frame, PREAMBLE_S, SAMPLE_RATE_HZ};
+use arraytrack::dsp::NoiseSource;
+use arraytrack::linalg::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthesizes a two-client collision with the given start offset for the
+/// second frame (seconds).
+fn collide(
+    theta_a: f64,
+    theta_b: f64,
+    offset_s: f64,
+    seed: u64,
+) -> (Vec<Vec<Complex64>>, AntennaArray) {
+    let fp = Floorplan::empty();
+    let sim = ChannelSim::new(&fp);
+    let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+    let a = array.point_at(theta_a, 9.0);
+    let b = array.point_at(theta_b, 12.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fa = Frame::with_random_body(8, &mut rng);
+    let fb = Frame::with_random_body(8, &mut rng);
+    let span = offset_s.max(0.0) + fb.duration() + fa.duration();
+    let rx_a = sim.receive(&Transmitter::at(a), &array, |t| fa.eval(t), 0.0, span, SAMPLE_RATE_HZ);
+    let rx_b = sim.receive(
+        &Transmitter::at(b),
+        &array,
+        |t| fb.eval(t - offset_s),
+        0.0,
+        span,
+        SAMPLE_RATE_HZ,
+    );
+    let noise = NoiseSource::with_power(1e-10);
+    let streams = rx_a
+        .into_iter()
+        .zip(rx_b)
+        .map(|(x, y)| {
+            let mut s: Vec<Complex64> = x.into_iter().zip(y).map(|(p, q)| p + q).collect();
+            noise.corrupt(&mut s, &mut rng);
+            s
+        })
+        .collect();
+    (streams, array)
+}
+
+fn best_err(spec: &arraytrack::core::AoaSpectrum, truth: f64) -> f64 {
+    spec.find_peaks(0.3)
+        .iter()
+        .map(|p| angle_diff(p.theta, truth).min(angle_diff(p.theta, std::f64::consts::TAU - truth)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn sic_recovers_both_bearings() {
+    let ta = 50f64.to_radians();
+    let tb = 125f64.to_radians();
+    let (streams, _) = collide(ta, tb, PREAMBLE_S + 8e-6, 1);
+    let out = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default()).unwrap();
+    assert!(best_err(&out.first, ta) < 3f64.to_radians());
+    assert!(best_err(&out.second, tb) < 3f64.to_radians());
+    // A cancelled out of frame 2.
+    assert!(
+        !out.second.has_peak_near(ta, 5f64.to_radians(), 0.3)
+            && !out
+                .second
+                .has_peak_near(std::f64::consts::TAU - ta, 5f64.to_radians(), 0.3),
+        "first client's bearing should be cancelled"
+    );
+}
+
+#[test]
+fn overlapping_preambles_are_rejected() {
+    let (streams, _) = collide(
+        50f64.to_radians(),
+        125f64.to_radians(),
+        PREAMBLE_S * 0.5, // second preamble overlaps the first
+        2,
+    );
+    let err = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default()).unwrap_err();
+    // Either the detector merges them (one detection) or they're flagged
+    // as overlapping — both are correct rejections.
+    match err {
+        SicError::PreamblesOverlap | SicError::NotEnoughDetections(_) => {}
+    }
+}
+
+#[test]
+fn single_packet_is_not_a_collision() {
+    let fp = Floorplan::empty();
+    let sim = ChannelSim::new(&fp);
+    let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+    let mut rng = StdRng::seed_from_u64(3);
+    let f = Frame::with_random_body(4, &mut rng);
+    let tx = Transmitter::at(array.point_at(1.0, 10.0));
+    let streams = sim.receive(&tx, &array, |t| f.eval(t), 0.0, f.duration() + 10e-6, SAMPLE_RATE_HZ);
+    let err = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default()).unwrap_err();
+    assert_eq!(err, SicError::NotEnoughDetections(1));
+}
+
+#[test]
+fn close_bearings_still_separable() {
+    // 25° apart: SIC must not cancel the second client along with the first.
+    let ta = 80f64.to_radians();
+    let tb = 105f64.to_radians();
+    let (streams, _) = collide(ta, tb, PREAMBLE_S + 12e-6, 4);
+    let out = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default()).unwrap();
+    assert!(best_err(&out.second, tb) < 3f64.to_radians());
+}

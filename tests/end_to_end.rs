@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: client → channel → front end →
+//! ArrayTrack pipeline → location, exercising the whole system the way the
+//! experiment harness does.
+
+use arraytrack::channel::geometry::{angle_diff, pt};
+use arraytrack::channel::Transmitter;
+use arraytrack::core::pipeline::{
+    process_frame, process_frame_group, ApPipelineConfig, SymmetryMode,
+};
+use arraytrack::core::suppression::SuppressionConfig;
+use arraytrack::core::synthesis::{localize, ApObservation};
+use arraytrack::core::MusicConfig;
+use arraytrack::testbed::{CaptureConfig, Deployment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Localizes one client with all six APs of a deployment.
+fn localize_client(
+    dep: &Deployment,
+    client: arraytrack::channel::Point,
+    cfg: &CaptureConfig,
+    pipeline: &ApPipelineConfig,
+    frames: usize,
+    seed: u64,
+) -> arraytrack::channel::Point {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tx = Transmitter::at(client);
+    let observations: Vec<ApObservation> = (0..dep.aps.len())
+        .map(|ap| {
+            let blocks = dep.capture_frame_group(ap, client, &tx, cfg, frames, 0.05, &mut rng);
+            ApObservation {
+                pose: dep.aps[ap].pose,
+                spectrum: process_frame_group(&blocks, pipeline, &SuppressionConfig::default()),
+            }
+        })
+        .collect();
+    let region = dep.search_region().with_resolution(0.2);
+    localize(&observations, region).position
+}
+
+#[test]
+fn free_space_localization_is_centimeter_grade() {
+    let dep = Deployment::free_space(1);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    for (i, &client) in [pt(12.0, 12.0), pt(30.0, 8.0), pt(40.0, 18.0)].iter().enumerate() {
+        let est = localize_client(&dep, client, &cfg, &pipeline, 1, 100 + i as u64);
+        assert!(
+            est.distance(client) < 0.3,
+            "client {i}: error {:.2} m",
+            est.distance(client)
+        );
+    }
+}
+
+#[test]
+fn office_localization_is_submeter_for_typical_clients() {
+    let dep = Deployment::office(2);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let mut errors = Vec::new();
+    for (i, &client) in dep.clients.iter().take(8).enumerate() {
+        let est = localize_client(&dep, client, &cfg, &pipeline, 3, 200 + i as u64);
+        errors.push(est.distance(client));
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errors[errors.len() / 2];
+    assert!(median < 1.0, "median office error {median:.2} m, all: {errors:?}");
+}
+
+#[test]
+fn uncalibrated_ap_breaks_aoa_and_calibration_restores_it() {
+    use arraytrack::core::music::{music_spectrum, strongest_bearing};
+    use arraytrack::dsp::SnapshotBlock;
+    use arraytrack::frontend::{CalibrationRig, FrontEnd};
+    use arraytrack::linalg::Complex64;
+
+    let fp = arraytrack::channel::Floorplan::empty();
+    let sim = arraytrack::channel::ChannelSim::new(&fp);
+    let array = arraytrack::channel::AntennaArray::ula(pt(0.0, 0.0), 0.0, 8);
+    let theta = 65f64.to_radians();
+    let tx = Transmitter::at(array.point_at(theta, 12.0));
+    let streams = sim.receive(
+        &tx,
+        &array,
+        |t| Complex64::cis(std::f64::consts::TAU * 1e6 * t),
+        0.0,
+        12.0 / arraytrack::dsp::SAMPLE_RATE_HZ,
+        arraytrack::dsp::SAMPLE_RATE_HZ,
+    );
+
+    let frontend = FrontEnd::new(8, 77);
+    let raw: SnapshotBlock = frontend.capture(&streams, 0, 10);
+    let uncal = strongest_bearing(&music_spectrum(&raw, &MusicConfig::default())).unwrap();
+    let uncal_err = angle_diff(uncal, theta).min(angle_diff(uncal, std::f64::consts::TAU - theta));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let cal = CalibrationRig::new(8, 0.25, 88).calibrate(&frontend, &mut rng);
+    let fixed = cal.apply_modulo(&raw);
+    let calb = strongest_bearing(&music_spectrum(&fixed, &MusicConfig::default())).unwrap();
+    let cal_err = angle_diff(calb, theta).min(angle_diff(calb, std::f64::consts::TAU - theta));
+
+    assert!(cal_err < 2f64.to_radians(), "calibrated error {cal_err}");
+    assert!(
+        uncal_err > 2.0 * cal_err + 1f64.to_radians(),
+        "uncalibrated ({uncal_err}) should be far worse than calibrated ({cal_err})"
+    );
+}
+
+#[test]
+fn pillar_blocked_client_still_localized() {
+    let dep = Deployment::office(3);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    // Clients placed directly behind the pillars in the testbed.
+    for &client in &[pt(18.0, 11.0), pt(34.0, 11.0)] {
+        let est = localize_client(&dep, client, &cfg, &pipeline, 3, 55);
+        assert!(
+            est.distance(client) < 2.0,
+            "blocked client error {:.2} m",
+            est.distance(client)
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let dep = Deployment::office(4);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let client = dep.clients[5];
+    let a = localize_client(&dep, client, &cfg, &pipeline, 3, 99);
+    let b = localize_client(&dep, client, &cfg, &pipeline, 3, 99);
+    assert_eq!(a, b, "same seed must reproduce the same estimate");
+}
+
+#[test]
+fn low_snr_degrades_gracefully() {
+    let dep = Deployment::free_space(5);
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let client = pt(24.0, 12.0);
+    let good = CaptureConfig::default();
+    // 40 dB more noise: near or below 0 dB SNR at range.
+    let bad = CaptureConfig {
+        noise_power: 1e-6,
+        ..good
+    };
+    let e_good = localize_client(&dep, client, &good, &pipeline, 1, 31).distance(client);
+    let e_bad = localize_client(&dep, client, &bad, &pipeline, 1, 31).distance(client);
+    assert!(e_good < 0.3, "clean error {e_good:.2}");
+    // No panic, a finite in-region answer, just worse.
+    assert!(e_bad.is_finite());
+    assert!(e_bad > e_good);
+}
+
+#[test]
+fn symmetry_modes_agree_in_benign_geometry() {
+    // For a broadside free-space client every mode should find the client;
+    // PerPeak and WholeSide must both kill the ghost.
+    let dep = Deployment::free_space(6);
+    let cfg = CaptureConfig::default();
+    let client = pt(20.0, 12.0);
+    let mut rng = StdRng::seed_from_u64(9);
+    let tx = Transmitter::at(client);
+    let block = dep.capture_frame(0, client, &tx, &cfg, &mut rng);
+    let truth = dep.aps[0].pose.bearing_to(client);
+    for mode in [SymmetryMode::WholeSide, SymmetryMode::PerPeak] {
+        let mut pc = ApPipelineConfig::arraytrack(8);
+        pc.symmetry = mode;
+        let spec = process_frame(&block, &pc);
+        assert!(
+            spec.has_peak_near(truth, 3f64.to_radians(), 0.3),
+            "{mode:?} lost the true peak"
+        );
+        let ghost = std::f64::consts::TAU - truth;
+        assert!(
+            spec.sample(ghost) < 0.5 * spec.sample(truth),
+            "{mode:?} kept the ghost"
+        );
+    }
+}
+
+#[test]
+fn more_aps_reduce_error_on_average() {
+    let dep = Deployment::office(8);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let region = dep.search_region().with_resolution(0.2);
+    let mut err3 = 0.0;
+    let mut err6 = 0.0;
+    let clients = &dep.clients[..6];
+    for (i, &client) in clients.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(300 + i as u64);
+        let tx = Transmitter::at(client);
+        let obs: Vec<ApObservation> = (0..6)
+            .map(|ap| {
+                let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
+                ApObservation {
+                    pose: dep.aps[ap].pose,
+                    spectrum: process_frame_group(
+                        &blocks,
+                        &pipeline,
+                        &SuppressionConfig::default(),
+                    ),
+                }
+            })
+            .collect();
+        err3 += localize(&obs[..3], region).position.distance(client);
+        err6 += localize(&obs, region).position.distance(client);
+    }
+    assert!(
+        err6 <= err3,
+        "6-AP total error {err6:.2} should not exceed 3-AP {err3:.2}"
+    );
+}
+
+#[test]
+fn height_and_polarization_are_handled_not_fatal() {
+    let dep = Deployment::free_space(10);
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let client = pt(20.0, 10.0);
+    let region = dep.search_region().with_resolution(0.2);
+    for tx in [
+        Transmitter::at(client).with_height(0.0),
+        Transmitter::at(client).with_polarization_mismatch(std::f64::consts::FRAC_PI_4),
+    ] {
+        let mut rng = StdRng::seed_from_u64(77);
+        let obs: Vec<ApObservation> = (0..6)
+            .map(|ap| {
+                let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 1, 0.0, &mut rng);
+                ApObservation {
+                    pose: dep.aps[ap].pose,
+                    spectrum: process_frame_group(
+                        &blocks,
+                        &pipeline,
+                        &SuppressionConfig::default(),
+                    ),
+                }
+            })
+            .collect();
+        let est = localize(&obs, region).position;
+        assert!(
+            est.distance(client) < 1.0,
+            "adverse-condition error {:.2} m",
+            est.distance(client)
+        );
+    }
+}

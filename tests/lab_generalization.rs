@@ -1,0 +1,97 @@
+//! Generalization: the full pipeline on a second, differently-shaped
+//! deployment (the 20 m × 15 m research lab), proving nothing was tuned to
+//! the Fig. 12 office floorplan.
+
+use arraytrack::channel::Transmitter;
+use arraytrack::core::pipeline::{process_frame_group, ApPipelineConfig};
+use arraytrack::core::suppression::SuppressionConfig;
+use arraytrack::core::synthesis::{localize, ApObservation};
+use arraytrack::testbed::{CaptureConfig, Deployment, ErrorStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lab_deployment_localizes_all_clients() {
+    let dep = Deployment::lab(77);
+    assert_eq!(dep.aps.len(), 4);
+    assert_eq!(dep.clients.len(), 12);
+
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let region = dep.search_region().with_resolution(0.2);
+
+    let mut errors = Vec::new();
+    for (i, &client) in dep.clients.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(500 + i as u64);
+        let tx = Transmitter::at(client);
+        let obs: Vec<ApObservation> = (0..dep.aps.len())
+            .map(|ap| {
+                let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
+                ApObservation {
+                    pose: dep.aps[ap].pose,
+                    spectrum: process_frame_group(
+                        &blocks,
+                        &pipeline,
+                        &SuppressionConfig::default(),
+                    ),
+                }
+            })
+            .collect();
+        let est = localize(&obs, region).position;
+        // Every estimate must stay inside the lab.
+        assert!(est.x >= 0.0 && est.x <= 20.0 && est.y >= 0.0 && est.y <= 15.0);
+        errors.push(est.distance(client));
+    }
+    let stats = ErrorStats::new(errors);
+    // Four APs around a metal-bench lab: meter-grade median, bounded tail
+    // (the metal bench makes this harder than the office per AP).
+    assert!(
+        stats.median() < 1.0,
+        "lab median {:.2} m ({})",
+        stats.median(),
+        stats.summary()
+    );
+    assert!(stats.mean() < 3.0, "lab mean {:.2} m", stats.mean());
+    assert!(
+        stats.percentile(100.0) < 8.0,
+        "lab worst case {:.2} m",
+        stats.percentile(100.0)
+    );
+}
+
+#[test]
+fn lab_search_region_matches_floorplan() {
+    let dep = Deployment::lab(1);
+    let region = dep.search_region();
+    let (nx, ny) = region.grid_size();
+    // 20 m × 15 m at 10 cm pitch.
+    assert_eq!((nx, ny), (201, 151));
+}
+
+#[test]
+fn metal_bench_shadow_is_harder_but_not_fatal() {
+    // The client just below the bench (shadowed from the two top APs)
+    // must still localize within a couple of meters.
+    let dep = Deployment::lab(3);
+    let client = dep.clients[8]; // (8.0, 6.5), below the bench
+    let cfg = CaptureConfig::default();
+    let pipeline = ApPipelineConfig::arraytrack(8);
+    let region = dep.search_region().with_resolution(0.2);
+    let mut rng = StdRng::seed_from_u64(901);
+    let tx = Transmitter::at(client);
+    let obs: Vec<ApObservation> = (0..dep.aps.len())
+        .map(|ap| {
+            let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
+            ApObservation {
+                pose: dep.aps[ap].pose,
+                spectrum: process_frame_group(&blocks, &pipeline, &SuppressionConfig::default()),
+            }
+        })
+        .collect();
+    let est = localize(&obs, region).position;
+    assert!(
+        est.distance(client) < 2.5,
+        "shadowed client error {:.2} m",
+        est.distance(client)
+    );
+}
