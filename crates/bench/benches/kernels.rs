@@ -6,7 +6,7 @@
 //! channel simulator itself.
 
 use at_channel::geometry::pt;
-use at_channel::{AntennaArray, ChannelSim, Floorplan, Transmitter};
+use at_channel::{AntennaArray, ChannelSim, Transmitter};
 use at_core::music::{music_analysis_from_rxx, MusicConfig};
 use at_core::synthesis::{localize, ApObservation, ApPose, SearchRegion};
 use at_core::AoaSpectrum;
@@ -72,8 +72,9 @@ fn bench_correlation_matrix(c: &mut Criterion) {
     });
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    // Six APs around a 20×10 m region, 10 cm grid (the paper's setting).
+/// The six-AP, 20×10 m, 10 cm-grid synthesis fixture shared by the
+/// exhaustive and engine benches.
+fn synthesis_fixture() -> (Vec<ApObservation>, SearchRegion) {
     let spectrum = AoaSpectrum::from_fn(720, |t| {
         (-((t - 1.0) / 0.1).powi(2)).exp() + 1e-4
     });
@@ -87,8 +88,32 @@ fn bench_synthesis(c: &mut Criterion) {
         })
         .collect();
     let region = SearchRegion::new(pt(0.0, 0.0), pt(20.0, 10.0));
+    (observations, region)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    // Six APs around a 20×10 m region, 10 cm grid (the paper's setting).
+    let (observations, region) = synthesis_fixture();
     c.bench_function("synthesis_grid_10cm_6aps", |b| {
         b.iter(|| localize(black_box(&observations), region))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use at_core::LocalizationEngine;
+    let (observations, region) = synthesis_fixture();
+    let poses: Vec<ApPose> = observations.iter().map(|o| o.pose).collect();
+    c.bench_function("engine_build_10cm_6aps", |b| {
+        b.iter(|| LocalizationEngine::new(black_box(&poses), region, 720))
+    });
+    let engine = LocalizationEngine::new(&poses, region, 720);
+    let obs: Vec<(usize, &AoaSpectrum)> = observations
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (i, &o.spectrum))
+        .collect();
+    c.bench_function("engine_localize_10cm_6aps", |b| {
+        b.iter(|| black_box(&engine).localize(black_box(&obs)))
     });
 }
 
@@ -154,7 +179,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_eig, bench_music, bench_correlation_matrix,
-              bench_synthesis, bench_detector, bench_channel,
+              bench_synthesis, bench_engine, bench_detector, bench_channel,
               bench_estimators, bench_tracker
 }
 criterion_main!(benches);

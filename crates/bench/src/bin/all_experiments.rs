@@ -19,6 +19,7 @@ fn main() -> std::io::Result<()> {
         ("low_snr", at_bench::experiments::low_snr::run),
         ("collision", at_bench::experiments::collision::run),
         ("latency", at_bench::experiments::latency::run),
+        ("perf", at_bench::experiments::perf::run),
         ("heightA", at_bench::experiments::height_appendix::run),
         ("ablation", at_bench::experiments::ablation::run),
         ("baselines", at_bench::experiments::baselines::run),

@@ -1,0 +1,5 @@
+//! Localization-engine performance baseline: cold vs warm query latency on
+//! the Fig. 15 workload. Refreshes `BENCH_PERF.json` at the repo root.
+fn main() -> std::io::Result<()> {
+    at_bench::experiments::perf::run()
+}

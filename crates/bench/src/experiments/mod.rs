@@ -20,5 +20,6 @@ pub mod fig20;
 pub mod height_appendix;
 pub mod latency;
 pub mod low_snr;
+pub mod perf;
 pub mod reachability;
 pub mod tab01;

@@ -1,0 +1,558 @@
+//! Query-scale spectra synthesis: a precomputed localization engine
+//! (paper §2.5, engineered for many queries per deployment).
+//!
+//! [`crate::synthesis::localize`] evaluates `L(x) = Π Pᵢ(θᵢ(x))` at every
+//! cell of the ~10 cm search grid for every query — an `atan2` plus a
+//! spectrum interpolation per (cell, AP), ~7·10⁵ of them for the paper's
+//! office. But `θᵢ(x)` depends only on the deployment geometry (AP poses,
+//! region, pitch), never on the query. [`LocalizationEngine`] hoists all of
+//! that out of the query path:
+//!
+//! - **Bearing grids** — for each AP, the spectrum-bin index of every grid
+//!   cell's bearing, quantized once to a `u16` (error ≤ half a bin). A
+//!   query turns the inner loop into table lookups.
+//! - **Log-domain accumulation** — each query builds one small per-AP LUT
+//!   `ln(max(P[bin], floor))`, so the likelihood product becomes a sum and
+//!   the floor is applied in log space, once per bin instead of per cell.
+//! - **Coarse-to-fine search** — the grid is tiled into ~50 cm blocks; for
+//!   each block the engine precomputes the (circular) interval of spectrum
+//!   bins its cells subtend per AP, dilated by one bin so the interval max
+//!   also bounds the *interpolated* likelihood anywhere in the block.
+//!   Queries score blocks by that upper bound and refine best-first,
+//!   stopping as soon as no unrefined block can beat the current top cells
+//!   — a branch-and-bound that inspects a few percent of the grid yet
+//!   finds the same top cells as the exhaustive scan.
+//!
+//! The selected top cells are re-evaluated with the *exact* interpolated
+//! likelihood and refined with the same hill climb as the legacy path, so
+//! engine and legacy results agree to sub-millimeter (the
+//! `engine_parity` proptest pins this down). The legacy `heatmap` /
+//! `localize` functions remain as the straight-line reference
+//! implementation.
+//!
+//! Memory: one `u16` per cell per AP — ≈ 1.4 MB for six APs over the
+//! 41 m × 23 m office at 10 cm — plus four bytes per 50 cm block per AP.
+//! The caches depend only on (poses, region, bins): rebuild on deployment
+//! change, never per query.
+
+use crate::parallel::{available_threads, parallel_map};
+use crate::spectrum::AoaSpectrum;
+use crate::synthesis::{
+    hill_climb, likelihood, ApObservation, ApPose, Heatmap, LocationEstimate, SearchRegion,
+    LIKELIHOOD_FLOOR,
+};
+use std::f64::consts::TAU;
+
+/// Coarse block edge length the engine targets, meters.
+const COARSE_BLOCK_M: f64 = 0.5;
+
+/// Fine cells carried from the coarse-to-fine search into exact
+/// re-evaluation (a superset of the 3 hill-climb starts, so the exact
+/// top-3 ordering is robust to the ≤ half-bin quantization of the grid).
+const CANDIDATE_CELLS: usize = 8;
+
+/// Hill-climb starts (paper §2.5: "the three highest-likelihood cells").
+const HILL_CLIMB_STARTS: usize = 3;
+
+/// A reusable, deployment-bound localization engine.
+///
+/// Build once per (AP poses, search region, spectrum resolution) with
+/// [`LocalizationEngine::new`], then call [`LocalizationEngine::localize`]
+/// for every query — any client, any subset of the deployment's APs.
+#[derive(Clone, Debug)]
+pub struct LocalizationEngine {
+    region: SearchRegion,
+    poses: Vec<ApPose>,
+    bins: usize,
+    nx: usize,
+    ny: usize,
+    /// Coarse tiling: block edge in cells, and block-grid dimensions.
+    stride: usize,
+    bx: usize,
+    by: usize,
+    /// Per AP: spectrum-bin index of each cell's bearing, row-major.
+    fine: Vec<Vec<u16>>,
+    /// Per AP: per block, the dilated circular bin interval `(start, len)`
+    /// covering every cell bearing in the block.
+    blocks: Vec<Vec<(u16, u16)>>,
+}
+
+impl LocalizationEngine {
+    /// Precomputes the bearing caches for a deployment.
+    ///
+    /// `bins` is the angular resolution of the spectra that queries will
+    /// carry (the pipeline default is 720).
+    ///
+    /// # Panics
+    /// Panics if `poses` is empty or `bins` doesn't fit the `u16` grid.
+    pub fn new(poses: &[ApPose], region: SearchRegion, bins: usize) -> Self {
+        assert!(!poses.is_empty(), "need at least one AP pose");
+        assert!((8..=u16::MAX as usize + 1).contains(&bins), "bins out of range");
+        let (nx, ny) = region.grid_size();
+        let stride = ((COARSE_BLOCK_M / region.resolution).round() as usize).clamp(1, 256);
+        let bx = nx.div_ceil(stride);
+        let by = ny.div_ceil(stride);
+
+        // Bearing grids, one AP at a time, rows in parallel.
+        let rows: Vec<usize> = (0..ny).collect();
+        let threads = available_threads();
+        let fine: Vec<Vec<u16>> = poses
+            .iter()
+            .map(|pose| {
+                parallel_map(&rows, threads, |_, &iy| {
+                    (0..nx)
+                        .map(|ix| {
+                            let theta = pose.bearing_to(region.cell_center(ix, iy));
+                            (((theta / TAU) * bins as f64).round() as usize % bins) as u16
+                        })
+                        .collect::<Vec<u16>>()
+                })
+                .concat()
+            })
+            .collect();
+
+        // Coarse block intervals from the fine grids.
+        let blocks = fine
+            .iter()
+            .map(|grid| {
+                let mut out = Vec::with_capacity(bx * by);
+                for byi in 0..by {
+                    for bxi in 0..bx {
+                        let mut cell_bins = Vec::with_capacity(stride * stride);
+                        for iy in (byi * stride)..((byi + 1) * stride).min(ny) {
+                            for ix in (bxi * stride)..((bxi + 1) * stride).min(nx) {
+                                cell_bins.push(grid[iy * nx + ix]);
+                            }
+                        }
+                        out.push(circular_cover(&mut cell_bins, bins));
+                    }
+                }
+                out
+            })
+            .collect();
+
+        Self {
+            region,
+            poses: poses.to_vec(),
+            bins,
+            nx,
+            ny,
+            stride,
+            bx,
+            by,
+            fine,
+            blocks,
+        }
+    }
+
+    /// The AP poses the engine was built for, in index order.
+    pub fn poses(&self) -> &[ApPose] {
+        &self.poses
+    }
+
+    /// The search region (and grid pitch) the engine covers.
+    pub fn region(&self) -> SearchRegion {
+        self.region
+    }
+
+    /// The spectrum resolution queries must match.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Grid dimensions `(nx, ny)` of the fine search grid.
+    pub fn grid_size(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The precomputed spectrum-bin index of cell `(ix, iy)`'s bearing from
+    /// AP `ap` (diagnostic accessor; the quantization unit tests check its
+    /// error stays within half a bin).
+    pub fn bearing_bin(&self, ap: usize, ix: usize, iy: usize) -> usize {
+        self.fine[ap][iy * self.nx + ix] as usize
+    }
+
+    /// Localizes a client from `(AP index, processed spectrum)` pairs — any
+    /// non-empty subset of the deployment's APs.
+    ///
+    /// Equivalent to [`crate::synthesis::localize`] over the same
+    /// observations (same top cells, same hill climb), but via the
+    /// precomputed caches and coarse-to-fine search.
+    pub fn localize(&self, observations: &[(usize, &AoaSpectrum)]) -> LocationEstimate {
+        assert!(!observations.is_empty(), "need at least one AP observation");
+        let exact = self.exact_observations(observations);
+        let starts = self.top_candidates_inner(observations, &exact, HILL_CLIMB_STARTS);
+        let mut best = LocationEstimate {
+            position: starts[0].0,
+            likelihood: starts[0].1,
+        };
+        for (start, _) in starts {
+            let refined = hill_climb(&exact, start, self.region);
+            if refined.likelihood > best.likelihood {
+                best = refined;
+            }
+        }
+        best
+    }
+
+    /// The `k` best grid cells for a query, by *exact* likelihood,
+    /// descending — the coarse-to-fine equivalent of
+    /// `heatmap(..).top_cells(k)` (the parity tests compare the two).
+    pub fn top_candidates(
+        &self,
+        observations: &[(usize, &AoaSpectrum)],
+        k: usize,
+    ) -> Vec<(at_channel::geometry::Point, f64)> {
+        assert!(!observations.is_empty(), "need at least one AP observation");
+        let exact = self.exact_observations(observations);
+        self.top_candidates_inner(observations, &exact, k)
+    }
+
+    /// Fills the full fine-grid heatmap (Fig. 14's rendering data) from the
+    /// bearing caches, one row per parallel work item. Values use the
+    /// quantized (nearest-bin) spectra, which is what a visualization
+    /// needs; the exhaustive-interpolating reference is
+    /// [`crate::synthesis::heatmap`].
+    pub fn heatmap(&self, observations: &[(usize, &AoaSpectrum)]) -> Heatmap {
+        assert!(!observations.is_empty(), "need at least one AP observation");
+        let luts = self.log_luts(observations);
+        let rows: Vec<usize> = (0..self.ny).collect();
+        let values = parallel_map(&rows, available_threads(), |_, &iy| {
+            (0..self.nx)
+                .map(|ix| self.cell_score(&luts, iy * self.nx + ix).exp())
+                .collect::<Vec<f64>>()
+        })
+        .concat();
+        Heatmap {
+            region: self.region,
+            values,
+            nx: self.nx,
+            ny: self.ny,
+        }
+    }
+
+    /// Normalized owned observations for exact re-evaluation / hill climb
+    /// (mirrors `synthesis::normalize_observations`).
+    fn exact_observations(&self, observations: &[(usize, &AoaSpectrum)]) -> Vec<ApObservation> {
+        observations
+            .iter()
+            .map(|&(ap, spectrum)| {
+                assert!(ap < self.poses.len(), "AP index {ap} out of range");
+                assert_eq!(
+                    spectrum.bins(),
+                    self.bins,
+                    "spectrum resolution doesn't match the engine's bearing grids"
+                );
+                ApObservation {
+                    pose: self.poses[ap],
+                    spectrum: spectrum.normalized(),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-AP log-likelihood LUTs: `ln(max(P[bin]/max(P), floor))`.
+    fn log_luts(&self, observations: &[(usize, &AoaSpectrum)]) -> Vec<(usize, Vec<f64>)> {
+        observations
+            .iter()
+            .map(|&(ap, spectrum)| {
+                assert!(ap < self.poses.len(), "AP index {ap} out of range");
+                assert_eq!(
+                    spectrum.bins(),
+                    self.bins,
+                    "spectrum resolution doesn't match the engine's bearing grids"
+                );
+                let max = spectrum.max_value();
+                let scale = if max > 0.0 { 1.0 / max } else { 1.0 };
+                let lut = spectrum
+                    .values()
+                    .iter()
+                    .map(|&v| (v * scale).max(LIKELIHOOD_FLOOR).ln())
+                    .collect();
+                (ap, lut)
+            })
+            .collect()
+    }
+
+    /// Quantized log-likelihood of one fine cell.
+    fn cell_score(&self, luts: &[(usize, Vec<f64>)], cell: usize) -> f64 {
+        luts.iter()
+            .map(|(ap, lut)| lut[self.fine[*ap][cell] as usize])
+            .sum()
+    }
+
+    /// Upper bound of the quantized *and* interpolated log-likelihood over
+    /// every cell of one coarse block.
+    fn block_bound(&self, luts: &[(usize, Vec<f64>)], block: usize) -> f64 {
+        luts.iter()
+            .map(|(ap, lut)| {
+                let (start, len) = self.blocks[*ap][block];
+                let (start, len) = (start as usize, len as usize);
+                let mut m = f64::NEG_INFINITY;
+                for i in 0..len {
+                    m = m.max(lut[(start + i) % self.bins]);
+                }
+                m
+            })
+            .sum()
+    }
+
+    /// Best-first coarse-to-fine search returning the top-`k` cells by
+    /// exact likelihood.
+    fn top_candidates_inner(
+        &self,
+        observations: &[(usize, &AoaSpectrum)],
+        exact: &[ApObservation],
+        k: usize,
+    ) -> Vec<(at_channel::geometry::Point, f64)> {
+        let luts = self.log_luts(observations);
+        let keep = CANDIDATE_CELLS.max(k).min(self.nx * self.ny);
+
+        // Score every coarse block by its likelihood upper bound.
+        let mut order: Vec<(f64, usize)> = (0..self.bx * self.by)
+            .map(|b| (self.block_bound(&luts, b), b))
+            .collect();
+        order.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite bounds"));
+
+        // Refine best-first: expand blocks into fine cells until no
+        // unrefined block's bound can beat the current `keep`-th cell.
+        let mut top: Vec<(f64, usize)> = Vec::with_capacity(keep + 1); // ascending
+        for &(bound, b) in &order {
+            if top.len() == keep && bound <= top[0].0 {
+                break;
+            }
+            let (bxi, byi) = (b % self.bx, b / self.bx);
+            for iy in (byi * self.stride)..((byi + 1) * self.stride).min(self.ny) {
+                for ix in (bxi * self.stride)..((bxi + 1) * self.stride).min(self.nx) {
+                    let cell = iy * self.nx + ix;
+                    let s = self.cell_score(&luts, cell);
+                    if top.len() < keep {
+                        top.push((s, cell));
+                        top.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                    } else if s > top[0].0 {
+                        top[0] = (s, cell);
+                        let mut i = 0;
+                        while i + 1 < top.len() && top[i].0 > top[i + 1].0 {
+                            top.swap(i, i + 1);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exact re-evaluation of the survivors, then the final ordering.
+        let mut cells: Vec<(at_channel::geometry::Point, f64)> = top
+            .into_iter()
+            .map(|(_, cell)| {
+                let p = self.region.cell_center(cell % self.nx, cell / self.nx);
+                (p, likelihood(exact, p))
+            })
+            .collect();
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite likelihoods"));
+        cells.truncate(k);
+        cells
+    }
+}
+
+/// The minimal circular interval (over `bins` bins) covering every value in
+/// `cell_bins`, dilated by one bin on each side so the interval max also
+/// bounds linear interpolation between neighboring bins. Returns
+/// `(start, len)`.
+fn circular_cover(cell_bins: &mut Vec<u16>, bins: usize) -> (u16, u16) {
+    if cell_bins.is_empty() {
+        return (0, 0);
+    }
+    cell_bins.sort_unstable();
+    cell_bins.dedup();
+    if cell_bins.len() == 1 {
+        let start = (cell_bins[0] as usize + bins - 1) % bins;
+        return (start as u16, 3.min(bins) as u16);
+    }
+    // The minimal cover is the complement of the largest circular gap
+    // between consecutive occupied bins.
+    let mut gap_len = 0usize;
+    let mut gap_after = 0usize; // index whose successor-gap is largest
+    for i in 0..cell_bins.len() {
+        let a = cell_bins[i] as usize;
+        let b = cell_bins[(i + 1) % cell_bins.len()] as usize;
+        let g = (b + bins - a) % bins;
+        if g > gap_len {
+            gap_len = g;
+            gap_after = i;
+        }
+    }
+    let start = cell_bins[(gap_after + 1) % cell_bins.len()] as usize;
+    let len = bins - gap_len + 1;
+    // Dilate by one bin on each side, capped at the full circle.
+    let start = (start + bins - 1) % bins;
+    let len = (len + 2).min(bins);
+    ((start % bins) as u16, len as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_channel::geometry::{angle_diff, pt, Point};
+    use crate::synthesis::{heatmap, localize};
+
+    /// A spectrum with a single Gaussian lobe at `theta` radians (plus the
+    /// mirror image a plain ULA would produce).
+    fn lobe(theta: f64, width: f64) -> AoaSpectrum {
+        AoaSpectrum::from_fn(720, |t| {
+            let d1 = angle_diff(t, theta);
+            let d2 = angle_diff(t, TAU - theta);
+            (-(d1 / width).powi(2)).exp() + 0.8 * (-(d2 / width).powi(2)).exp() + 1e-5
+        })
+    }
+
+    fn fixture(target: Point) -> (Vec<ApPose>, Vec<AoaSpectrum>, SearchRegion) {
+        let poses = vec![
+            ApPose { center: pt(0.0, 0.0), axis_angle: 0.3 },
+            ApPose { center: pt(12.0, 0.0), axis_angle: 2.0 },
+            ApPose { center: pt(6.0, 9.0), axis_angle: 4.1 },
+        ];
+        let spectra = poses
+            .iter()
+            .map(|p| lobe(p.bearing_to(target), 0.08))
+            .collect();
+        (poses, spectra, SearchRegion::new(pt(0.0, 0.0), pt(12.0, 9.0)))
+    }
+
+    fn indexed(spectra: &[AoaSpectrum]) -> Vec<(usize, &AoaSpectrum)> {
+        spectra.iter().enumerate().collect()
+    }
+
+    #[test]
+    fn engine_matches_legacy_localize() {
+        for target in [pt(6.0, 4.0), pt(2.3, 7.1), pt(10.8, 1.2)] {
+            let (poses, spectra, region) = fixture(target);
+            let engine = LocalizationEngine::new(&poses, region, 720);
+            let obs: Vec<ApObservation> = poses
+                .iter()
+                .zip(&spectra)
+                .map(|(pose, s)| ApObservation {
+                    pose: *pose,
+                    spectrum: s.clone(),
+                })
+                .collect();
+            let legacy = localize(&obs, region);
+            let fast = engine.localize(&indexed(&spectra));
+            assert!(
+                fast.position.distance(legacy.position) < 1e-3,
+                "target {target:?}: engine {:?} vs legacy {:?}",
+                fast.position,
+                legacy.position
+            );
+        }
+    }
+
+    #[test]
+    fn engine_supports_ap_subsets() {
+        let target = pt(4.0, 5.0);
+        let (poses, spectra, region) = fixture(target);
+        let engine = LocalizationEngine::new(&poses, region, 720);
+        // Query with APs {0, 2} only.
+        let obs: Vec<(usize, &AoaSpectrum)> = vec![(0, &spectra[0]), (2, &spectra[2])];
+        let est = engine.localize(&obs);
+        let legacy = localize(
+            &[
+                ApObservation { pose: poses[0], spectrum: spectra[0].clone() },
+                ApObservation { pose: poses[2], spectrum: spectra[2].clone() },
+            ],
+            region,
+        );
+        assert!(est.position.distance(legacy.position) < 1e-3);
+    }
+
+    #[test]
+    fn top_candidates_match_exhaustive_top_cells() {
+        let target = pt(7.4, 3.3);
+        let (poses, spectra, region) = fixture(target);
+        let engine = LocalizationEngine::new(&poses, region, 720);
+        let obs: Vec<ApObservation> = poses
+            .iter()
+            .zip(&spectra)
+            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .collect();
+        let reference = heatmap(&obs, region).top_cells(3);
+        let fast = engine.top_candidates(&indexed(&spectra), 3);
+        assert_eq!(reference.len(), fast.len());
+        for (r, f) in reference.iter().zip(&fast) {
+            assert!(
+                r.0.distance(f.0) < 1e-9,
+                "cell order differs: {reference:?} vs {fast:?}"
+            );
+            assert!((r.1 - f.1).abs() <= 1e-9 * r.1.max(1.0));
+        }
+    }
+
+    #[test]
+    fn engine_heatmap_tracks_exact_heatmap() {
+        let target = pt(5.0, 6.0);
+        let (poses, spectra, region) = fixture(target);
+        let region = region.with_resolution(0.25);
+        let engine = LocalizationEngine::new(&poses, region, 720);
+        let obs: Vec<ApObservation> = poses
+            .iter()
+            .zip(&spectra)
+            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .collect();
+        let exact = heatmap(&obs, region);
+        let fast = engine.heatmap(&indexed(&spectra));
+        assert_eq!((exact.nx, exact.ny), (fast.nx, fast.ny));
+        // Quantized values track the interpolated ones closely, and the
+        // peak cell is the same.
+        assert!(
+            exact.top_cells(1)[0].0.distance(fast.top_cells(1)[0].0) < 1e-9,
+            "heatmap peaks differ"
+        );
+        for (a, b) in exact.values.iter().zip(&fast.values) {
+            assert!((a - b).abs() <= 0.35 * a.max(*b) + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bearing_bins_quantize_within_half_a_bin() {
+        let (poses, _, region) = fixture(pt(6.0, 4.0));
+        let engine = LocalizationEngine::new(&poses, region, 720);
+        let half_bin = TAU / 720.0 / 2.0;
+        let (nx, ny) = engine.grid_size();
+        for (ap, pose) in poses.iter().enumerate() {
+            for iy in (0..ny).step_by(7) {
+                for ix in (0..nx).step_by(7) {
+                    let truth = pose.bearing_to(region.cell_center(ix, iy));
+                    let stored = engine.bearing_bin(ap, ix, iy) as f64 * TAU / 720.0;
+                    assert!(
+                        angle_diff(truth, stored) <= half_bin + 1e-12,
+                        "AP {ap} cell ({ix},{iy}): {truth} vs {stored}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circular_cover_handles_wrap() {
+        // Bins straddling the 0 wrap: cover must stay short.
+        let (start, len) = circular_cover(&mut vec![718, 719, 0, 1], 720);
+        assert_eq!((start, len), (717, 6));
+        // A single bin covers itself plus the dilation.
+        let (start, len) = circular_cover(&mut vec![10], 720);
+        assert_eq!((start, len), (9, 3));
+        // Antipodal bins: cover is the smaller arc plus dilation.
+        let (_, len) = circular_cover(&mut vec![0, 100], 720);
+        assert_eq!(len, 103);
+        // Empty blocks (outside the grid) are inert.
+        assert_eq!(circular_cover(&mut Vec::new(), 720), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spectrum resolution")]
+    fn mismatched_bins_rejected() {
+        let (poses, _, region) = fixture(pt(6.0, 4.0));
+        let engine = LocalizationEngine::new(&poses, region, 360);
+        let spec = lobe(1.0, 0.1); // 720 bins
+        engine.localize(&[(0, &spec)]);
+    }
+}

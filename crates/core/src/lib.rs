@@ -17,14 +17,22 @@
 //! plus [`sic`] for colliding packets (§4.3.5), [`latency`] for the §4.4
 //! budget, and [`pipeline`] tying the stages into per-AP and server-side
 //! entry points. [`spectrum`] defines the AoA spectrum type they all share.
+//!
+//! Two performance layers keep query-scale operation fast without touching
+//! the algorithms above: [`steering::SteeringTable`] caches the scan
+//! steering vectors process-wide, and [`engine::LocalizationEngine`]
+//! precomputes per-deployment bearing grids for coarse-to-fine synthesis
+//! ([`parallel`] provides the thread fan-out both reuse).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod elevation;
+pub mod engine;
 pub mod estimators;
 pub mod latency;
 pub mod music;
+pub mod parallel;
 pub mod pipeline;
 pub mod sic;
 pub mod smoothing;
@@ -36,7 +44,9 @@ pub mod synthesis;
 pub mod tracking;
 pub mod weighting;
 
+pub use engine::LocalizationEngine;
 pub use music::{music_analysis, music_spectrum, MusicAnalysis, MusicConfig};
+pub use parallel::parallel_map;
 pub use pipeline::{process_frame, process_frame_group, ApPipelineConfig, ArrayTrackServer};
 pub use spectrum::{AoaSpectrum, Peak};
 pub use suppression::{suppress_multipath, SuppressionConfig};

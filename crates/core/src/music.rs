@@ -14,9 +14,10 @@
 
 use crate::smoothing::{spatial_smooth, spatial_smooth_fb};
 use crate::spectrum::AoaSpectrum;
-use crate::steering::ula_steering;
+use crate::steering::SteeringTable;
 use at_dsp::SnapshotBlock;
 use at_linalg::{eigh, CMatrix};
+use std::borrow::Cow;
 use std::f64::consts::TAU;
 
 /// Configuration for the MUSIC estimator.
@@ -68,58 +69,64 @@ pub fn music_analysis(block: &SnapshotBlock, cfg: &MusicConfig) -> MusicAnalysis
 
 /// Runs MUSIC on a precomputed correlation matrix.
 pub fn music_analysis_from_rxx(rxx: &CMatrix, cfg: &MusicConfig) -> MusicAnalysis {
-    let smoothed = if cfg.smoothing_groups <= 1 {
-        rxx.clone()
+    // Borrow the input when smoothing is off: the eigendecomposition only
+    // needs a reference, so the no-smoothing path is copy-free.
+    let smoothed: Cow<'_, CMatrix> = if cfg.smoothing_groups <= 1 {
+        Cow::Borrowed(rxx)
     } else if cfg.forward_backward {
-        spatial_smooth_fb(rxx, cfg.smoothing_groups)
+        Cow::Owned(spatial_smooth_fb(rxx, cfg.smoothing_groups))
     } else {
-        spatial_smooth(rxx, cfg.smoothing_groups)
+        Cow::Owned(spatial_smooth(rxx, cfg.smoothing_groups))
     };
     let ms = smoothed.rows();
     assert!(ms >= 2, "need at least two effective antennas");
 
-    let eig = eigh(&smoothed).expect("correlation matrices are Hermitian");
+    let (q, eigenvalues, d) = noise_projector(&smoothed, cfg.eigenvalue_threshold);
+
+    // Pseudospectrum over [0, π], mirrored to the full circle (a plain ULA
+    // cannot distinguish the sides; §2.3.4 handles that separately), using
+    // the shared precomputed steering vectors.
+    let table = SteeringTable::shared(ms, cfg.bins);
+    let spectrum = table.scan(|a| {
+        let qa = q.mul_vec(a);
+        1.0 / a.dot(&qa).re.max(1e-12)
+    });
+
+    MusicAnalysis {
+        spectrum,
+        eigenvalues,
+        signals: d,
+        effective_antennas: ms,
+    }
+}
+
+/// Eigendecomposes a correlation matrix and builds the noise-subspace
+/// projector `Q = E_N·E_Nᴴ`: returns `(Q, eigenvalues, D)` with the source
+/// count `D` clamped so at least one noise dimension remains (MUSIC needs a
+/// noise subspace). Shared by the ULA and arbitrary-layout paths.
+fn noise_projector(rxx: &CMatrix, eigenvalue_threshold: f64) -> (CMatrix, Vec<f64>, usize) {
+    let ms = rxx.rows();
+    let eig = eigh(rxx).expect("correlation matrices are Hermitian");
     let lmax = eig.eigenvalues[0].max(0.0);
 
-    // Source count D: eigenvalues above the threshold fraction, clamped so
-    // at least one noise dimension remains (MUSIC needs a noise subspace).
+    // Source count D: eigenvalues above the threshold fraction (paper's
+    // "fraction of the largest eigenvalue" rule).
     let mut d = eig
         .eigenvalues
         .iter()
-        .filter(|&&l| l > cfg.eigenvalue_threshold * lmax)
+        .filter(|&&l| l > eigenvalue_threshold * lmax)
         .count()
         .max(1);
     if d >= ms {
         d = ms - 1;
     }
 
-    // Noise-subspace projector Q = E_N·E_Nᴴ.
     let mut q = CMatrix::zeros(ms, ms);
     for k in d..ms {
         let v = eig.eigenvector(k);
         q.add_outer_assign(&v, 1.0);
     }
-
-    // Pseudospectrum over [0, π], mirrored to the full circle (a plain ULA
-    // cannot distinguish the sides; §2.3.4 handles that separately).
-    let bins = cfg.bins;
-    let mut values = vec![0.0; bins];
-    let half = bins / 2;
-    for i in 0..=half {
-        let theta = i as f64 * TAU / bins as f64;
-        let p = music_value(&q, ms, theta);
-        values[i] = p;
-        if i != 0 && i != half {
-            values[bins - i] = p;
-        }
-    }
-
-    MusicAnalysis {
-        spectrum: AoaSpectrum::from_values(values),
-        eigenvalues: eig.eigenvalues,
-        signals: d,
-        effective_antennas: ms,
-    }
+    (q, eig.eigenvalues, d)
 }
 
 /// Convenience wrapper returning just the pseudospectrum.
@@ -144,22 +151,7 @@ pub fn music_analysis_positions(
     );
     let ms = rxx.rows();
     assert!(ms >= 2, "need at least two antennas");
-    let eig = eigh(rxx).expect("correlation matrices are Hermitian");
-    let lmax = eig.eigenvalues[0].max(0.0);
-    let mut d = eig
-        .eigenvalues
-        .iter()
-        .filter(|&&l| l > cfg.eigenvalue_threshold * lmax)
-        .count()
-        .max(1);
-    if d >= ms {
-        d = ms - 1;
-    }
-    let mut q = CMatrix::zeros(ms, ms);
-    for k in d..ms {
-        let v = eig.eigenvector(k);
-        q.add_outer_assign(&v, 1.0);
-    }
+    let (q, eigenvalues, d) = noise_projector(rxx, cfg.eigenvalue_threshold);
     let bins = cfg.bins;
     let values = (0..bins)
         .map(|i| {
@@ -171,18 +163,10 @@ pub fn music_analysis_positions(
         .collect();
     MusicAnalysis {
         spectrum: AoaSpectrum::from_values(values),
-        eigenvalues: eig.eigenvalues,
+        eigenvalues,
         signals: d,
         effective_antennas: ms,
     }
-}
-
-/// Evaluates `1 / (aᴴ Q a)` at one bearing.
-fn music_value(q: &CMatrix, ms: usize, theta: f64) -> f64 {
-    let a = ula_steering(ms, theta);
-    let qa = q.mul_vec(&a);
-    let denom = a.dot(&qa).re.max(1e-12);
-    1.0 / denom
 }
 
 /// Ground-truth-free helper: the bearing of the strongest spectrum peak.
@@ -193,6 +177,7 @@ pub fn strongest_bearing(spectrum: &AoaSpectrum) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::steering::ula_steering;
     use at_channel::geometry::angle_diff;
     use at_dsp::awgn::NoiseSource;
     use at_linalg::{CVector, Complex64};
@@ -321,15 +306,20 @@ mod tests {
     #[test]
     fn more_antennas_sharpen_the_peak() {
         let theta = 75f64.to_radians();
-        let width = |m: usize| {
+        // Half-power width saturates at one bin once the peak is sharp
+        // enough, so compare the (normalized) spectrum mean too: a larger
+        // aperture pushes the MUSIC noise floor further below the peak.
+        let sharpness = |m: usize| {
             let block = synth_block(m, 50, &[(theta, 1.0)], 0.02, 9);
             let spec = music_spectrum(&block, &MusicConfig::default()).normalized();
-            // Half-power width around the main peak, in bins.
-            spec.values().iter().filter(|&&v| v > 0.5).count()
+            let width = spec.values().iter().filter(|&&v| v > 0.5).count();
+            let mean = spec.values().iter().sum::<f64>() / spec.bins() as f64;
+            (width, mean)
         };
-        let w4 = width(4);
-        let w8 = width(8);
-        assert!(w8 < w4, "8-antenna width {w8} !< 4-antenna width {w4}");
+        let (w4, m4) = sharpness(4);
+        let (w8, m8) = sharpness(8);
+        assert!(w8 <= w4, "8-antenna width {w8} > 4-antenna width {w4}");
+        assert!(m8 < m4, "8-antenna floor {m8} !< 4-antenna floor {m4}");
     }
 
     #[test]

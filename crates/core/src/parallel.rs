@@ -1,0 +1,85 @@
+//! Minimal data-parallel helper shared by the localization engine and the
+//! testbed's experiment sweeps.
+//!
+//! Pure CPU-bound fan-out over a slice with plain scoped threads — no
+//! dependencies, no work queue. Items are split into one contiguous chunk
+//! per worker, each worker writing results straight into its own disjoint
+//! `chunks_mut` slice, so there is no per-element synchronization at all
+//! (the previous implementation locked a `Mutex` around every output
+//! slot). Static partitioning is the right trade here: the sweep items
+//! (per-client captures, per-subset localizations, heatmap rows) have
+//! near-uniform cost.
+
+/// Runs `f` over `items` on up to `threads` OS threads and collects the
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// # Panics
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + j, &items[base + j]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every chunk was filled"))
+        .collect()
+}
+
+/// A sensible default worker count for compute-bound fan-out.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let par = parallel_map(&items, 8, |i, x| i as u64 + x * 3);
+        let ser: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 + x * 3)
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn handles_edge_shapes() {
+        assert_eq!(parallel_map(&[] as &[u8], 4, |_, x| *x), Vec::<u8>::new());
+        assert_eq!(parallel_map(&[7u8], 16, |_, x| *x as u32), vec![7]);
+        // More threads than items, uneven chunks.
+        let items: Vec<usize> = (0..5).collect();
+        assert_eq!(parallel_map(&items, 3, |i, _| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        parallel_map(&[1], 0, |_, x| *x);
+    }
+}

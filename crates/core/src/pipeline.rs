@@ -8,13 +8,15 @@
 //! optimized-vs-unoptimized comparisons (Figs. 13/15) and the ablation
 //! bench are expressed.
 
+use crate::engine::LocalizationEngine;
 use crate::music::{music_analysis, MusicConfig};
 use crate::spectrum::AoaSpectrum;
 use crate::suppression::{suppress_multipath, SuppressionConfig};
 use crate::symmetry::{remove_symmetry, resolve_mirror_peaks};
-use crate::synthesis::{localize, ApObservation, ApPose, LocationEstimate, SearchRegion};
+use crate::synthesis::{ApObservation, ApPose, LocationEstimate, SearchRegion};
 use crate::weighting::apply_geometry_weighting;
 use at_dsp::SnapshotBlock;
+use std::cell::RefCell;
 
 /// How the §2.3.4 mirror ambiguity is resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,10 +127,16 @@ pub fn process_frame_group(
 
 /// The central ArrayTrack server: accumulates per-AP spectra for a client
 /// and produces a location estimate (Fig. 1's right half).
+///
+/// The server keeps a [`LocalizationEngine`] keyed to the current AP poses
+/// and spectrum resolution: the first `localize` call after a deployment
+/// change pays the bearing-grid precomputation, every later call (the
+/// steady state — one query per client per refresh interval) reuses it.
 #[derive(Clone, Debug)]
 pub struct ArrayTrackServer {
     observations: Vec<ApObservation>,
     region: SearchRegion,
+    engine: RefCell<Option<LocalizationEngine>>,
 }
 
 impl ArrayTrackServer {
@@ -137,6 +145,7 @@ impl ArrayTrackServer {
         Self {
             observations: Vec::new(),
             region,
+            engine: RefCell::new(None),
         }
     }
 
@@ -157,10 +166,42 @@ impl ArrayTrackServer {
 
     /// Produces the location estimate from all accumulated observations.
     ///
+    /// Reuses the cached [`LocalizationEngine`] when the AP poses and
+    /// spectrum resolution are unchanged since the last call; otherwise
+    /// rebuilds it first (the deployment changed).
+    ///
     /// # Panics
     /// Panics if no observations were added.
     pub fn localize(&self) -> LocationEstimate {
-        localize(&self.observations, self.region)
+        assert!(
+            !self.observations.is_empty(),
+            "need at least one AP observation"
+        );
+        let bins = self.observations[0].spectrum.bins();
+        let mut slot = self.engine.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(e) => {
+                e.bins() != bins
+                    || e.poses().len() != self.observations.len()
+                    || e.poses()
+                        .iter()
+                        .zip(&self.observations)
+                        .any(|(p, o)| *p != o.pose)
+            }
+            None => true,
+        };
+        if stale {
+            let poses: Vec<ApPose> = self.observations.iter().map(|o| o.pose).collect();
+            *slot = Some(LocalizationEngine::new(&poses, self.region, bins));
+        }
+        let engine = slot.as_ref().expect("engine was just built");
+        let obs: Vec<(usize, &AoaSpectrum)> = self
+            .observations
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, &o.spectrum))
+            .collect();
+        engine.localize(&obs)
     }
 
     /// The accumulated observations (for heatmap rendering).
@@ -281,6 +322,46 @@ mod tests {
         );
         server.clear();
         assert_eq!(server.observation_count(), 0);
+    }
+
+    #[test]
+    fn server_rebuilds_engine_when_deployment_changes() {
+        let fp = Floorplan::empty();
+        let mut server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)));
+        // First client: three APs.
+        let client_a = pt(6.0, 4.0);
+        let poses = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+        ];
+        for (center, axis) in poses {
+            let array = AntennaArray::ula(center, axis, 8).with_offrow_element();
+            let block = capture(&fp, &array, &Transmitter::at(client_a), 10);
+            let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
+            server.add_observation(ApPose { center, axis_angle: axis }, spec);
+        }
+        assert!(server.localize().position.distance(client_a) < 0.25);
+        // The deployment changes (new AP poses): the cached engine is
+        // stale and must be rebuilt, not reused.
+        server.clear();
+        let client_b = pt(3.0, 6.0);
+        for (center, axis) in [
+            (pt(0.0, 8.0), 5.4),
+            (pt(12.0, 8.0), 3.6),
+            (pt(6.0, 0.0), 1.2),
+        ] {
+            let array = AntennaArray::ula(center, axis, 8).with_offrow_element();
+            let block = capture(&fp, &array, &Transmitter::at(client_b), 10);
+            let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
+            server.add_observation(ApPose { center, axis_angle: axis }, spec);
+        }
+        let est = server.localize();
+        assert!(
+            est.position.distance(client_b) < 0.4,
+            "stale engine reused? estimate {:?} vs client {client_b:?}",
+            est.position
+        );
     }
 
     #[test]

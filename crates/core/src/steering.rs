@@ -15,10 +15,13 @@
 //! element position in the array frame and `u(θ)` the unit vector toward
 //! the source.
 
+use crate::spectrum::AoaSpectrum;
 use at_channel::geometry::{pt, Point};
 use at_channel::{half_wavelength, wavelength};
 use at_linalg::{CVector, Complex64};
-use std::f64::consts::PI;
+use std::collections::HashMap;
+use std::f64::consts::{PI, TAU};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Steering vector for an `elements`-antenna λ/2 ULA at bearing `theta`
 /// (radians from the array axis).
@@ -26,6 +29,91 @@ pub fn ula_steering(elements: usize, theta: f64) -> CVector {
     CVector::from_fn(elements, |m| {
         Complex64::cis(m as f64 * PI * theta.cos())
     })
+}
+
+/// Precomputed steering vectors for an `elements`-antenna λ/2 ULA over a
+/// uniform `bins`-bearing scan.
+///
+/// Every spectrum scan (MUSIC, Bartlett, MVDR, the elevation path through
+/// MUSIC) evaluates some quadratic form `f(a(θ))` at the same `bins`
+/// bearings for every frame, but `a(θ)` depends only on `(elements, bins)`
+/// — never on the data. This table computes the vectors once (sin/cos per
+/// element per bin) and [`SteeringTable::shared`] memoizes tables
+/// process-wide, so a six-AP deployment pays the trigonometry exactly once.
+///
+/// Only the half circle `[0, π]` is stored: a plain ULA's steering repeats
+/// mirror-symmetrically (`cos θ = cos(−θ)`), which is exactly why its
+/// spectra are mirrored (§2.3.4). [`SteeringTable::scan`] reproduces the
+/// half-scan-plus-mirror loop all the estimators previously hand-rolled.
+#[derive(Clone, Debug)]
+pub struct SteeringTable {
+    elements: usize,
+    bins: usize,
+    /// `bins/2 + 1` vectors for θ = i·2π/bins, i in `0..=bins/2`.
+    vectors: Vec<CVector>,
+}
+
+impl SteeringTable {
+    /// Builds the table for an `elements`-antenna ULA scanned at `bins`
+    /// uniform bearings over the full circle.
+    pub fn new(elements: usize, bins: usize) -> Self {
+        assert!(elements >= 1, "need at least one element");
+        assert!(bins >= 8, "a scan needs a reasonable resolution");
+        let half = bins / 2;
+        let vectors = (0..=half)
+            .map(|i| ula_steering(elements, i as f64 * TAU / bins as f64))
+            .collect();
+        Self {
+            elements,
+            bins,
+            vectors,
+        }
+    }
+
+    /// The process-wide shared table for `(elements, bins)`: built on first
+    /// use, then reused by every subsequent scan with the same shape.
+    pub fn shared(elements: usize, bins: usize) -> Arc<SteeringTable> {
+        static CACHE: OnceLock<Mutex<HashMap<(usize, usize), Arc<SteeringTable>>>> =
+            OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("steering cache lock");
+        Arc::clone(
+            map.entry((elements, bins))
+                .or_insert_with(|| Arc::new(SteeringTable::new(elements, bins))),
+        )
+    }
+
+    /// Number of array elements the vectors describe.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Number of angular bins of the full-circle scan.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The precomputed steering vector for bin `i` (`i ≤ bins/2`).
+    pub fn vector(&self, i: usize) -> &CVector {
+        &self.vectors[i]
+    }
+
+    /// Evaluates `f(a(θ))` over the stored half circle and mirrors the
+    /// result to `[0, 2π)` — the shared scan loop of every ULA estimator.
+    /// Values are clamped to be non-negative.
+    pub fn scan(&self, f: impl Fn(&CVector) -> f64) -> AoaSpectrum {
+        let bins = self.bins;
+        let half = bins / 2;
+        let mut values = vec![0.0; bins];
+        for (i, a) in self.vectors.iter().enumerate() {
+            let p = f(a).max(0.0);
+            values[i] = p;
+            if i != 0 && i != half {
+                values[bins - i] = p;
+            }
+        }
+        AoaSpectrum::from_values(values)
+    }
 }
 
 /// Steering vector for arbitrary element positions `positions` (meters, in
@@ -165,6 +253,44 @@ mod tests {
             assert!((p.x - frame[m].x).abs() < 1e-12);
             assert!((p.y - frame[m].y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn table_vectors_match_direct_steering() {
+        let table = SteeringTable::new(8, 720);
+        for i in [0usize, 1, 97, 360] {
+            let direct = ula_steering(8, i as f64 * TAU / 720.0);
+            for (a, b) in table.vector(i).iter().zip(direct.iter()) {
+                assert_eq!(*a, *b, "bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_scan_matches_hand_rolled_loop() {
+        // The scan must be bit-identical to the loop it replaced: evaluate
+        // over [0, π] at i·2π/bins, mirror to the full circle.
+        let table = SteeringTable::new(6, 360);
+        let f = |a: &CVector| a.iter().map(|z| z.re).sum::<f64>().max(0.0);
+        let spec = table.scan(|a| a.iter().map(|z| z.re).sum::<f64>());
+        for i in 0..=180 {
+            let direct = f(&ula_steering(6, i as f64 * TAU / 360.0));
+            assert_eq!(spec.values()[i], direct, "bin {i}");
+            if i != 0 && i != 180 {
+                assert_eq!(spec.values()[360 - i], direct, "mirror of bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_table_is_memoized() {
+        let a = SteeringTable::shared(8, 720);
+        let b = SteeringTable::shared(8, 720);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = SteeringTable::shared(4, 720);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.elements(), 4);
+        assert_eq!(c.bins(), 720);
     }
 
     #[test]

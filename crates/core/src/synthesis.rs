@@ -49,7 +49,7 @@ pub struct ApObservation {
 /// blocked direct path "degrades the performance ... slightly but not
 /// much", which requires exactly this robustness). 0.05 means a fully
 /// vetoing AP costs ~1.3 orders of magnitude per extra AP of agreement.
-const LIKELIHOOD_FLOOR: f64 = 0.05;
+pub(crate) const LIKELIHOOD_FLOOR: f64 = 0.05;
 
 /// The rectangular search region and grid resolution for localization.
 #[derive(Clone, Copy, Debug)]
@@ -121,14 +121,26 @@ impl Heatmap {
     }
 
     /// The `k` highest-valued cell centers, descending.
+    ///
+    /// Selects the `k` survivors in O(n) first and only sorts those — for
+    /// the usual `k = 3` over a ~10⁵-cell office grid, that's a partition
+    /// instead of a full sort of the index vector.
     pub fn top_cells(&self, k: usize) -> Vec<(Point, f64)> {
         let mut idx: Vec<usize> = (0..self.values.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.values[b]
-                .partial_cmp(&self.values[a])
+        let k = k.min(idx.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let desc = |a: &usize, b: &usize| {
+            self.values[*b]
+                .partial_cmp(&self.values[*a])
                 .expect("finite likelihoods")
-        });
-        idx.truncate(k);
+        };
+        if k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, desc);
+            idx.truncate(k);
+        }
+        idx.sort_unstable_by(desc);
         idx.into_iter()
             .map(|i| {
                 let iy = i / self.nx;
@@ -212,7 +224,9 @@ pub fn localize(observations: &[ApObservation], region: SearchRegion) -> Locatio
 
 /// Pattern-search hill climbing: evaluate the 8-neighborhood at a step that
 /// starts at the grid pitch and halves on failure, until sub-millimeter.
-fn hill_climb(
+/// Shared with the precomputed [`crate::engine::LocalizationEngine`] so
+/// both search paths refine identically from the same starts.
+pub(crate) fn hill_climb(
     observations: &[ApObservation],
     start: Point,
     region: SearchRegion,

@@ -1,0 +1,131 @@
+//! Property-based parity between [`at_core::LocalizationEngine`] and the
+//! exhaustive reference path (`synthesis::localize` / `synthesis::heatmap`).
+//!
+//! The engine's coarse-to-fine search quantizes bearings to spectrum bins
+//! and prunes blocks by likelihood upper bounds; these tests pin down that
+//! none of that changes the answer: on random deployments the final
+//! position matches the legacy path to better than a millimeter, and the
+//! hill-climb starting cells come out in the same order.
+
+use at_channel::geometry::{angle_diff, pt, Point};
+use at_core::engine::LocalizationEngine;
+use at_core::synthesis::{heatmap, localize, ApObservation, ApPose, SearchRegion};
+use at_core::AoaSpectrum;
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+/// A 720-bin spectrum from a list of Gaussian lobes `(center, width, amp)`.
+fn lobes_spectrum(lobes: &[(f64, f64, f64)]) -> AoaSpectrum {
+    let ls = lobes.to_vec();
+    AoaSpectrum::from_fn(720, move |t| {
+        let mut v = 1e-5;
+        for &(c, w, a) in &ls {
+            v += a * (-(angle_diff(t, c) / w).powi(2)).exp();
+        }
+        v
+    })
+}
+
+/// Per-AP parameters: position, array axis, and extra (clutter) lobes.
+type ApParams = (f64, f64, f64, Vec<(f64, f64, f64)>);
+
+/// 2–6 APs anywhere in the region with 0–2 random clutter lobes each, plus
+/// a common target the direct-path lobes point at (so the likelihood
+/// surface has a genuine, unambiguous peak above the floor).
+fn scene_strategy() -> impl Strategy<Value = (Vec<ApParams>, (f64, f64))> {
+    (
+        proptest::collection::vec(
+            (
+                0.0f64..12.0,
+                0.0f64..8.0,
+                0.0f64..TAU,
+                proptest::collection::vec((0.0f64..TAU, 0.05f64..0.4, 0.2f64..0.9), 0..3),
+            ),
+            2..7,
+        ),
+        (1.0f64..11.0, 1.0f64..7.0),
+    )
+}
+
+/// Builds poses and spectra for a generated scene.
+fn build_scene(aps: &[ApParams], target: Point) -> (Vec<ApPose>, Vec<AoaSpectrum>) {
+    let poses: Vec<ApPose> = aps
+        .iter()
+        .map(|&(x, y, axis_angle, _)| ApPose {
+            center: pt(x, y),
+            axis_angle,
+        })
+        .collect();
+    let spectra = poses
+        .iter()
+        .zip(aps)
+        .map(|(pose, (_, _, _, clutter))| {
+            let mut lobes = vec![(pose.bearing_to(target), 0.08, 1.0)];
+            lobes.extend_from_slice(clutter);
+            lobes_spectrum(&lobes)
+        })
+        .collect();
+    (poses, spectra)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_localizes_identically_on_random_deployments(
+        (aps, (tx, ty)) in scene_strategy()
+    ) {
+        let target = pt(tx, ty);
+        let region = SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)).with_resolution(0.1);
+        let (poses, spectra) = build_scene(&aps, target);
+        let engine = LocalizationEngine::new(&poses, region, 720);
+
+        let owned: Vec<ApObservation> = poses
+            .iter()
+            .zip(&spectra)
+            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .collect();
+        let legacy = localize(&owned, region);
+        let obs: Vec<(usize, &AoaSpectrum)> = spectra.iter().enumerate().collect();
+        let fast = engine.localize(&obs);
+        prop_assert!(
+            fast.position.distance(legacy.position) < 1e-3,
+            "engine {:?} vs legacy {:?} (target {target:?}, {} APs)",
+            fast.position, legacy.position, poses.len()
+        );
+        prop_assert!(
+            (fast.likelihood - legacy.likelihood).abs()
+                <= 1e-6 * legacy.likelihood.max(1e-300)
+        );
+    }
+
+    #[test]
+    fn top_candidates_order_matches_exhaustive_heatmap(
+        (aps, (tx, ty)) in scene_strategy()
+    ) {
+        let target = pt(tx, ty);
+        let region = SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)).with_resolution(0.1);
+        let (poses, spectra) = build_scene(&aps, target);
+        let engine = LocalizationEngine::new(&poses, region, 720);
+
+        let owned: Vec<ApObservation> = poses
+            .iter()
+            .zip(&spectra)
+            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .collect();
+        let reference = heatmap(&owned, region).top_cells(3);
+        let obs: Vec<(usize, &AoaSpectrum)> = spectra.iter().enumerate().collect();
+        let fast = engine.top_candidates(&obs, 3);
+        prop_assert_eq!(reference.len(), fast.len());
+        for (r, f) in reference.iter().zip(&fast) {
+            // Same cell in the same rank — or an exact likelihood tie, in
+            // which case either order is legitimate.
+            prop_assert!(
+                r.0.distance(f.0) < 1e-9
+                    || (r.1 - f.1).abs() <= 1e-12 * r.1.max(1e-300),
+                "rank order differs: {:?} vs {:?}", reference, fast
+            );
+            prop_assert!((r.1 - f.1).abs() <= 1e-9 * r.1.max(1e-300));
+        }
+    }
+}

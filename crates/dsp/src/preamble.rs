@@ -189,7 +189,7 @@ impl DataSymbols {
             .map(|_| {
                 let mut sym = [Complex64::ZERO; 52];
                 for s in sym.iter_mut() {
-                    *s = pts[rng.gen_range(0..4)];
+                    *s = pts[rng.gen_range(0..4usize)];
                 }
                 sym
             })

