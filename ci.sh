@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify, the robustness tier, and lint gates.
+#
+# Usage: ./ci.sh
+#
+# Stages:
+#   1. tier-1 verify   — release build + full test suite (ROADMAP.md)
+#   2. robustness tier — seeded fault-injection scenarios + golden spectra
+#                        (tests/faults.rs, tests/golden_spectrum.rs; the
+#                        scenario seed 4242 is pinned inside the tests so
+#                        the tier is bit-reproducible)
+#   3. clippy          — -D warnings on every crate this layer touches
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== [1/3] tier-1 verify: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "== [2/3] robustness tier (fixed seed 4242) =="
+cargo test -q --test faults
+cargo test -q --test golden_spectrum
+cargo test -q -p at-core --test proptests
+
+echo "== [3/3] clippy -D warnings on touched crates =="
+cargo clippy -q -p at-core -p at-channel -p at-frontend -p at-testbed \
+    -p at-bench -p arraytrack --all-targets -- -D warnings
+
+echo "ci.sh: all gates passed"

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 fn main() -> std::io::Result<()> {
     let t0 = Instant::now();
+    #[allow(clippy::type_complexity)]
     let experiments: &[(&str, fn() -> std::io::Result<()>)] = &[
         ("fig07", at_bench::experiments::fig07::run),
         ("tab01", at_bench::experiments::tab01::run),
@@ -27,6 +28,7 @@ fn main() -> std::io::Result<()> {
         ("elevation", at_bench::experiments::elevation::run),
         ("estimators", at_bench::experiments::estimators::run),
         ("reachability", at_bench::experiments::reachability::run),
+        ("robustness", at_bench::experiments::robustness::run),
     ];
     for (name, run) in experiments {
         let t = Instant::now();

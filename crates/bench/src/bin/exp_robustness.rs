@@ -1,0 +1,4 @@
+//! Binary wrapper for the `robustness` experiment (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    at_bench::experiments::robustness::run()
+}

@@ -22,4 +22,5 @@ pub mod latency;
 pub mod low_snr;
 pub mod perf;
 pub mod reachability;
+pub mod robustness;
 pub mod tab01;

@@ -1,0 +1,212 @@
+//! Robustness: accuracy vs. failed APs / dead antenna elements (a Fig.
+//! 14-style degradation curve for the fault-injection layer).
+//!
+//! Two sweeps over the office deployment, both under seeded
+//! [`FaultPlan`]s so the committed `results/robustness_curve.csv` is
+//! reproducible bit-for-bit:
+//!
+//! - **ap_outage** — `k` of 6 APs powered off (drawn per trial seed); the
+//!   survivors fuse through the server's quorum path. Clients whose
+//!   surviving deployment cannot support a fix are counted as typed
+//!   failures, never panics.
+//! - **antenna_dropout** — `k` of 8 in-row elements dead at *every* AP
+//!   (drawn per AP); spectra are re-acquired through the fault-injected
+//!   capture path, so the crippled aperture degrades MUSIC itself.
+//!
+//! Regenerate with `cargo run --release -p at-bench --bin exp_robustness`.
+
+use crate::report::{f3, Report};
+use at_core::faults::FaultPlan;
+use at_core::pipeline::ArrayTrackServer;
+use at_core::AoaSpectrum;
+use at_testbed::acquire::{acquire_spectrum, AcquireConfig};
+use at_testbed::{compute_all_spectra, parallel_map, Deployment, ErrorStats, ExperimentConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outage trials per failure count (different random AP subsets).
+const OUTAGE_TRIALS: u64 = 5;
+
+/// One sweep row: failure level → outcome statistics.
+struct SweepRow {
+    failed: usize,
+    attempts: usize,
+    fixes: usize,
+    stats: Option<ErrorStats>,
+}
+
+impl SweepRow {
+    fn to_csv(&self, sweep: &str) -> Vec<String> {
+        let (median, mean, p90) = match &self.stats {
+            Some(s) => (f3(s.median()), f3(s.mean()), f3(s.percentile(90.0))),
+            None => ("nan".into(), "nan".into(), "nan".into()),
+        };
+        vec![
+            sweep.into(),
+            self.failed.to_string(),
+            self.attempts.to_string(),
+            self.fixes.to_string(),
+            f3(self.fixes as f64 / self.attempts.max(1) as f64),
+            median,
+            mean,
+            p90,
+        ]
+    }
+
+    fn to_table(&self) -> Vec<String> {
+        let mut row = vec![
+            self.failed.to_string(),
+            format!("{}/{}", self.fixes, self.attempts),
+        ];
+        match &self.stats {
+            Some(s) => row.extend([f3(s.median()), f3(s.mean()), f3(s.percentile(90.0))]),
+            None => row.extend(["-".into(), "-".into(), "-".into()]),
+        }
+        row
+    }
+}
+
+/// Fuses per-client spectra from the live APs through the degradation
+/// path, tallying typed quorum failures instead of dying on them.
+fn fuse_clients(
+    dep: &Deployment,
+    spectra: &[Vec<Option<AoaSpectrum>>],
+    live: &[usize],
+) -> (Vec<f64>, usize, usize) {
+    let mut server = ArrayTrackServer::new(dep.search_region());
+    for ap in 0..dep.aps.len() {
+        if !live.contains(&ap) {
+            for _ in 0..server.policy().down_after {
+                server.report_acquisition_failure(ap);
+            }
+        }
+    }
+    let mut errors = Vec::new();
+    let (mut attempts, mut fixes) = (0, 0);
+    for (ci, per_ap) in spectra.iter().enumerate() {
+        server.clear();
+        for &ap in live {
+            if let Some(spec) = &per_ap[ap] {
+                server.add_observation_from(ap, dep.aps[ap].pose, spec.clone(), 0);
+            }
+        }
+        attempts += 1;
+        if let Ok(est) = server.try_localize() {
+            fixes += 1;
+            errors.push(est.position.distance(dep.clients[ci]));
+        }
+    }
+    (errors, attempts, fixes)
+}
+
+/// Runs the experiment.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("robustness")?;
+    report.section("Graceful degradation: accuracy vs failed APs / dead elements");
+
+    let dep = Deployment::office(42);
+    let mut cfg = ExperimentConfig::arraytrack(42);
+    cfg.frames = 2; // suppression over a pair keeps the sweep affordable
+    let n_aps = dep.aps.len();
+
+    report.line("computing healthy spectra (shared by the outage sweep)...");
+    let healthy: Vec<Vec<Option<AoaSpectrum>>> = compute_all_spectra(&dep, &cfg)
+        .into_iter()
+        .map(|per_ap| per_ap.into_iter().map(Some).collect())
+        .collect();
+
+    // ---- Sweep 1: AP outages. -------------------------------------------
+    let mut outage_rows = Vec::new();
+    for failed in 0..=n_aps {
+        let trials = if failed == 0 || failed == n_aps {
+            1 // only one subset exists
+        } else {
+            OUTAGE_TRIALS
+        };
+        let (mut errors, mut attempts, mut fixes) = (Vec::new(), 0, 0);
+        for trial in 0..trials {
+            let plan = FaultPlan::random_outages(n_aps, failed, 0xA110 + trial);
+            let (e, a, f) = fuse_clients(&dep, &healthy, &plan.live_aps());
+            errors.extend(e);
+            attempts += a;
+            fixes += f;
+        }
+        outage_rows.push(SweepRow {
+            failed,
+            attempts,
+            fixes,
+            stats: (!errors.is_empty()).then(|| ErrorStats::new(errors)),
+        });
+    }
+    report.line("AP outage sweep (k of 6 APs down, survivors fuse):");
+    report.table(
+        &["APs down", "fixes", "median(m)", "mean(m)", "p90(m)"],
+        &outage_rows.iter().map(SweepRow::to_table).collect::<Vec<_>>(),
+    );
+
+    // ---- Sweep 2: antenna element dropout. ------------------------------
+    let dead_counts = [0usize, 1, 2, 3, 4, 6, 8];
+    let mut dropout_rows = Vec::new();
+    for &dead in &dead_counts {
+        let plan = FaultPlan::random_dead_elements(n_aps, cfg.capture.elements, dead, 0xE1E + dead as u64);
+        let acq = AcquireConfig::default();
+        // Re-acquire every (client, AP) spectrum through the crippled
+        // arrays; a `None` is a typed acquisition failure (all-dead AP).
+        let clients: Vec<usize> = (0..dep.clients.len()).collect();
+        let spectra: Vec<Vec<Option<AoaSpectrum>>> =
+            parallel_map(&clients, cfg.threads, |_, &ci| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (1000 + ci as u64));
+                (0..n_aps)
+                    .map(|ap| {
+                        acquire_spectrum(&dep, ap, ci, &cfg, &plan, &acq, &mut rng)
+                            .ok()
+                            .map(|a| a.spectrum)
+                    })
+                    .collect()
+            });
+        let live: Vec<usize> = (0..n_aps).collect();
+        let (errors, attempts, fixes) = fuse_clients(&dep, &spectra, &live);
+        dropout_rows.push(SweepRow {
+            failed: dead,
+            attempts,
+            fixes,
+            stats: (!errors.is_empty()).then(|| ErrorStats::new(errors)),
+        });
+        report.line(format!("  dropout {dead}/8 done"));
+    }
+    report.line("antenna dropout sweep (k of 8 in-row elements dead at every AP):");
+    report.table(
+        &["elems dead", "fixes", "median(m)", "mean(m)", "p90(m)"],
+        &dropout_rows.iter().map(SweepRow::to_table).collect::<Vec<_>>(),
+    );
+
+    let csv: Vec<Vec<String>> = outage_rows
+        .iter()
+        .map(|r| r.to_csv("ap_outage"))
+        .chain(dropout_rows.iter().map(|r| r.to_csv("antenna_dropout")))
+        .collect();
+    report.csv(
+        "curve",
+        &[
+            "sweep", "failed", "clients", "fixes", "fix_rate", "median_m", "mean_m", "p90_m",
+        ],
+        csv,
+    )?;
+
+    // Headline shape checks mirrored by the robustness test tier.
+    let med = |rows: &[SweepRow], k: usize| {
+        rows.iter()
+            .find(|r| r.failed == k)
+            .and_then(|r| r.stats.as_ref())
+            .map(ErrorStats::median)
+            .unwrap_or(f64::NAN)
+    };
+    report.line(format!(
+        "shape: outage medians 0→{:.2} m, 3→{:.2} m (ratio {:.2}x); full outage fix rate {}",
+        med(&outage_rows, 0),
+        med(&outage_rows, 3),
+        med(&outage_rows, 3) / med(&outage_rows, 0),
+        outage_rows.last().map_or(0, |r| r.fixes),
+    ));
+    Ok(())
+}

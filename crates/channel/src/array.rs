@@ -79,6 +79,10 @@ pub struct AntennaArray {
     pub imperfection_seed: Option<u64>,
     /// Element arrangement (default linear).
     pub layout: ArrayLayout,
+    /// Indices of dead elements (failed feed, broken solder joint, blown
+    /// LNA): a dead element couples no signal into its port — the receive
+    /// chain sees only its own noise. Empty = all elements alive.
+    pub dead_elements: Vec<usize>,
 }
 
 /// Per-element gain imperfection bound: ±0.4 dB.
@@ -101,6 +105,7 @@ impl AntennaArray {
             height: 1.5,
             imperfection_seed: None,
             layout: ArrayLayout::Linear,
+            dead_elements: Vec::new(),
         }
     }
 
@@ -146,8 +151,36 @@ impl AntennaArray {
         self
     }
 
-    /// The static complex gain error of element `m` (1 + 0j when ideal).
+    /// Marks the listed elements as dead (fault injection): their complex
+    /// gain becomes exactly zero, so the channel couples no signal into
+    /// those ports and the receiver sees only its own noise there.
+    pub fn with_dead_elements(mut self, dead: &[usize]) -> Self {
+        for &m in dead {
+            assert!(
+                m < self.total_elements(),
+                "dead element index {m} out of range"
+            );
+        }
+        self.dead_elements = dead.to_vec();
+        self
+    }
+
+    /// Whether element `m` is marked dead.
+    pub fn is_dead(&self, m: usize) -> bool {
+        self.dead_elements.contains(&m)
+    }
+
+    /// Number of live (not dead) in-row elements.
+    pub fn live_inrow_elements(&self) -> usize {
+        (0..self.elements).filter(|&m| !self.is_dead(m)).count()
+    }
+
+    /// The static complex gain error of element `m` (1 + 0j when ideal,
+    /// exactly zero when the element is dead).
     pub fn element_error(&self, m: usize) -> at_linalg::Complex64 {
+        if self.is_dead(m) {
+            return at_linalg::Complex64::ZERO;
+        }
         let Some(seed) = self.imperfection_seed else {
             return at_linalg::Complex64::ONE;
         };
@@ -350,6 +383,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_element_panics() {
         AntennaArray::ula(pt(0.0, 0.0), 0.0, 4).element_position(4);
+    }
+
+    #[test]
+    fn dead_elements_have_zero_gain() {
+        let a = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8)
+            .with_imperfections(7)
+            .with_dead_elements(&[1, 5]);
+        assert!(a.is_dead(1) && a.is_dead(5) && !a.is_dead(0));
+        assert_eq!(a.element_error(1), at_linalg::Complex64::ZERO);
+        assert_eq!(a.element_error(5), at_linalg::Complex64::ZERO);
+        // Live elements keep their (imperfect but nonzero) gains.
+        assert!(a.element_error(0).abs() > 0.5);
+        assert_eq!(a.live_inrow_elements(), 6);
+    }
+
+    #[test]
+    fn dead_offrow_element_is_addressable() {
+        let a = AntennaArray::ula(pt(0.0, 0.0), 0.0, 8)
+            .with_offrow_element()
+            .with_dead_elements(&[8]);
+        assert!(a.is_dead(8));
+        assert_eq!(a.live_inrow_elements(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead element index")]
+    fn dead_element_out_of_range_rejected() {
+        let _ = AntennaArray::ula(pt(0.0, 0.0), 0.0, 4).with_dead_elements(&[4]);
     }
 
     #[test]

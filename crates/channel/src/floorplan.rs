@@ -263,6 +263,9 @@ mod tests {
             assert!(m.reflection > 0.0 && m.reflection <= 1.0);
             assert!(m.transmission_loss_db > 0.0);
         }
-        assert!(Material::METAL.reflection > Material::DRYWALL.reflection);
+        #[allow(clippy::assertions_on_constants)] // documents the material ordering
+        {
+            assert!(Material::METAL.reflection > Material::DRYWALL.reflection);
+        }
     }
 }

@@ -23,12 +23,14 @@ pub const fn pt(x: f64, y: f64) -> Point {
 impl Point {
     /// Vector difference `self − other`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // inherent name predates ops impls
     pub fn sub(self, other: Point) -> Point {
         pt(self.x - other.x, self.y - other.y)
     }
 
     /// Vector sum.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // inherent name predates ops impls
     pub fn add(self, other: Point) -> Point {
         pt(self.x + other.x, self.y + other.y)
     }
@@ -222,6 +224,16 @@ pub fn angle_diff(a: f64, b: f64) -> f64 {
     d.min(std::f64::consts::TAU - d)
 }
 
+
+impl Segment {
+    /// Distance from a point to the infinite line through the segment.
+    pub fn distance_to_line(&self, p: Point) -> f64 {
+        let d = self.direction();
+        let ap = p.sub(self.a);
+        ap.sub(d.scale(ap.dot(d))).norm()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,11 +342,3 @@ mod tests {
     }
 }
 
-impl Segment {
-    /// Distance from a point to the infinite line through the segment.
-    pub fn distance_to_line(&self, p: Point) -> f64 {
-        let d = self.direction();
-        let ap = p.sub(self.a);
-        ap.sub(d.scale(ap.dot(d))).norm()
-    }
-}

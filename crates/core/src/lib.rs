@@ -18,6 +18,12 @@
 //! budget, and [`pipeline`] tying the stages into per-AP and server-side
 //! entry points. [`spectrum`] defines the AoA spectrum type they all share.
 //!
+//! Deployments misbehave; [`faults`] describes seeded, deterministic fault
+//! scenarios (AP outages, element dropout, calibration drift, missed
+//! detections, stale spectra, noise spikes) and [`health`] supplies the
+//! per-AP health tracking, quorum policy, and typed error surface the
+//! server's graceful-degradation path is built on.
+//!
 //! Two performance layers keep query-scale operation fast without touching
 //! the algorithms above: [`steering::SteeringTable`] caches the scan
 //! steering vectors process-wide, and [`engine::LocalizationEngine`]
@@ -30,6 +36,8 @@
 pub mod elevation;
 pub mod engine;
 pub mod estimators;
+pub mod faults;
+pub mod health;
 pub mod latency;
 pub mod music;
 pub mod parallel;
@@ -45,6 +53,8 @@ pub mod tracking;
 pub mod weighting;
 
 pub use engine::LocalizationEngine;
+pub use faults::{ApFaultProfile, FaultPlan};
+pub use health::{ApStatus, HealthPolicy, HealthTracker, LocalizeError};
 pub use music::{music_analysis, music_spectrum, MusicAnalysis, MusicConfig};
 pub use parallel::parallel_map;
 pub use pipeline::{process_frame, process_frame_group, ApPipelineConfig, ArrayTrackServer};

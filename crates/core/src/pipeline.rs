@@ -9,12 +9,13 @@
 //! bench are expressed.
 
 use crate::engine::LocalizationEngine;
+use crate::health::{ApStatus, HealthPolicy, HealthTracker, LocalizeError};
 use crate::music::{music_analysis, MusicConfig};
 use crate::spectrum::AoaSpectrum;
 use crate::suppression::{suppress_multipath, SuppressionConfig};
 use crate::symmetry::{remove_symmetry, resolve_mirror_peaks};
 use crate::synthesis::{ApObservation, ApPose, LocationEstimate, SearchRegion};
-use crate::weighting::apply_geometry_weighting;
+use crate::weighting::{apply_geometry_weighting, confidence_weighted};
 use at_dsp::SnapshotBlock;
 use std::cell::RefCell;
 
@@ -125,6 +126,17 @@ pub fn process_frame_group(
     suppress_multipath(&spectra, suppression)
 }
 
+/// Submission metadata carried alongside each observation: which
+/// deployment AP produced it (for health tracking) and how old it is.
+#[derive(Clone, Copy, Debug)]
+struct ObservationMeta {
+    /// Deployment AP index, when known. Anonymous observations (the legacy
+    /// [`ArrayTrackServer::add_observation`] path) are always trusted.
+    ap_id: Option<usize>,
+    /// Spectrum age in server refresh intervals (0 = fresh).
+    age: u64,
+}
+
 /// The central ArrayTrack server: accumulates per-AP spectra for a client
 /// and produces a location estimate (Fig. 1's right half).
 ///
@@ -132,26 +144,114 @@ pub fn process_frame_group(
 /// and spectrum resolution: the first `localize` call after a deployment
 /// change pays the bearing-grid precomputation, every later call (the
 /// steady state — one query per client per refresh interval) reuses it.
+///
+/// # Graceful degradation
+///
+/// Production deployments lose APs, antennas, and calibration; the server
+/// keeps localizing through [`ArrayTrackServer::try_localize`]:
+///
+/// - observations submitted with [`ArrayTrackServer::add_observation_from`]
+///   carry an AP identity and age; acquisition failures reported through
+///   [`ArrayTrackServer::report_acquisition_failure`] drive a per-AP
+///   [`HealthTracker`] (healthy → degraded → down);
+/// - fusion drops spectra that are stale (older than the
+///   [`HealthPolicy`]'s `max_spectrum_age`), degenerate (all-zero), or
+///   from a down AP, and *tempers* degraded APs' spectra with the
+///   policy's confidence exponent ([`confidence_weighted`]) so they vote
+///   but cannot veto;
+/// - if fewer than `min_quorum` APs survive, the server returns a typed
+///   [`LocalizeError`] instead of guessing or panicking.
+///
+/// With every AP healthy and fresh, `try_localize` takes exactly the same
+/// engine path as [`ArrayTrackServer::localize`] — bit-identical results
+/// (the robustness tier asserts this).
 #[derive(Clone, Debug)]
 pub struct ArrayTrackServer {
     observations: Vec<ApObservation>,
+    meta: Vec<ObservationMeta>,
     region: SearchRegion,
     engine: RefCell<Option<LocalizationEngine>>,
+    policy: HealthPolicy,
+    health: HealthTracker,
 }
 
 impl ArrayTrackServer {
-    /// A server searching the given region.
+    /// A server searching the given region, with the default
+    /// [`HealthPolicy`].
     pub fn new(region: SearchRegion) -> Self {
         Self {
             observations: Vec::new(),
+            meta: Vec::new(),
             region,
             engine: RefCell::new(None),
+            policy: HealthPolicy::default(),
+            health: HealthTracker::default(),
         }
     }
 
-    /// Adds one AP's processed spectrum.
+    /// Overrides the degradation policy.
+    ///
+    /// # Panics
+    /// Panics if the policy is internally inconsistent
+    /// (see [`HealthPolicy::validate`]).
+    pub fn with_policy(mut self, policy: HealthPolicy) -> Self {
+        policy.validate();
+        self.policy = policy;
+        self
+    }
+
+    /// The active degradation policy.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Adds one AP's processed spectrum (anonymous and fresh: not subject
+    /// to health tracking — the legacy single-shot path).
     pub fn add_observation(&mut self, pose: ApPose, spectrum: AoaSpectrum) {
         self.observations.push(ApObservation { pose, spectrum });
+        self.meta.push(ObservationMeta {
+            ap_id: None,
+            age: 0,
+        });
+    }
+
+    /// Adds a spectrum from deployment AP `ap_id`, `age` refresh intervals
+    /// old, and records the successful acquisition in the health tracker.
+    pub fn add_observation_from(
+        &mut self,
+        ap_id: usize,
+        pose: ApPose,
+        spectrum: AoaSpectrum,
+        age: u64,
+    ) {
+        self.health.report_success(ap_id);
+        self.observations.push(ApObservation { pose, spectrum });
+        self.meta.push(ObservationMeta {
+            ap_id: Some(ap_id),
+            age,
+        });
+    }
+
+    /// Records that spectrum acquisition from AP `ap_id` failed (missed
+    /// preamble, timeout, outage). Repeated failures degrade and then
+    /// exclude the AP per the [`HealthPolicy`].
+    pub fn report_acquisition_failure(&mut self, ap_id: usize) {
+        self.health.report_failure(ap_id);
+    }
+
+    /// The current health status of deployment AP `ap_id`.
+    pub fn ap_status(&self, ap_id: usize) -> ApStatus {
+        self.health.status(ap_id, &self.policy)
+    }
+
+    /// The per-AP health tracker.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Forgets all tracked failures (e.g. after a maintenance window).
+    pub fn reset_health(&mut self) {
+        self.health = HealthTracker::default();
     }
 
     /// Number of AP observations accumulated.
@@ -159,25 +259,16 @@ impl ArrayTrackServer {
         self.observations.len()
     }
 
-    /// Clears accumulated observations (between clients).
+    /// Clears accumulated observations (between clients). Health state is
+    /// deliberately retained: AP failures persist across clients.
     pub fn clear(&mut self) {
         self.observations.clear();
+        self.meta.clear();
     }
 
-    /// Produces the location estimate from all accumulated observations.
-    ///
-    /// Reuses the cached [`LocalizationEngine`] when the AP poses and
-    /// spectrum resolution are unchanged since the last call; otherwise
-    /// rebuilds it first (the deployment changed).
-    ///
-    /// # Panics
-    /// Panics if no observations were added.
-    pub fn localize(&self) -> LocationEstimate {
-        assert!(
-            !self.observations.is_empty(),
-            "need at least one AP observation"
-        );
-        let bins = self.observations[0].spectrum.bins();
+    /// Ensures the cached engine matches the current observation poses and
+    /// `bins`, rebuilding it if the deployment changed.
+    fn ensure_engine(&self, bins: usize) -> std::cell::RefMut<'_, Option<LocalizationEngine>> {
         let mut slot = self.engine.borrow_mut();
         let stale = match slot.as_ref() {
             Some(e) => {
@@ -194,6 +285,24 @@ impl ArrayTrackServer {
             let poses: Vec<ApPose> = self.observations.iter().map(|o| o.pose).collect();
             *slot = Some(LocalizationEngine::new(&poses, self.region, bins));
         }
+        slot
+    }
+
+    /// Produces the location estimate from all accumulated observations.
+    ///
+    /// Reuses the cached [`LocalizationEngine`] when the AP poses and
+    /// spectrum resolution are unchanged since the last call; otherwise
+    /// rebuilds it first (the deployment changed).
+    ///
+    /// # Panics
+    /// Panics if no observations were added.
+    pub fn localize(&self) -> LocationEstimate {
+        assert!(
+            !self.observations.is_empty(),
+            "need at least one AP observation"
+        );
+        let bins = self.observations[0].spectrum.bins();
+        let slot = self.ensure_engine(bins);
         let engine = slot.as_ref().expect("engine was just built");
         let obs: Vec<(usize, &AoaSpectrum)> = self
             .observations
@@ -202,6 +311,89 @@ impl ArrayTrackServer {
             .map(|(i, o)| (i, &o.spectrum))
             .collect();
         engine.localize(&obs)
+    }
+
+    /// Produces a location estimate under the degradation policy, or a
+    /// typed error when the surviving deployment cannot support one.
+    ///
+    /// Filtering and reweighting, in order:
+    ///
+    /// 1. every observation's resolution must agree
+    ///    ([`LocalizeError::ResolutionMismatch`] otherwise — the typed
+    ///    replacement for the engine's panic);
+    /// 2. stale spectra (age > `max_spectrum_age`), all-zero spectra, and
+    ///    spectra from down APs are dropped;
+    /// 3. spectra from degraded APs are tempered by `degraded_weight`
+    ///    (see [`confidence_weighted`]); healthy spectra pass untouched;
+    /// 4. fewer than `min_quorum` survivors ⇒
+    ///    [`LocalizeError::QuorumNotMet`].
+    ///
+    /// With all observations healthy and fresh this is exactly
+    /// [`ArrayTrackServer::localize`] (same engine, same spectra).
+    pub fn try_localize(&self) -> Result<LocationEstimate, LocalizeError> {
+        if self.observations.is_empty() {
+            return Err(LocalizeError::NoObservations);
+        }
+        let bins = self.observations[0].spectrum.bins();
+        for (i, o) in self.observations.iter().enumerate() {
+            if o.spectrum.bins() != bins {
+                return Err(LocalizeError::ResolutionMismatch {
+                    observation: i,
+                    bins: o.spectrum.bins(),
+                    expected: bins,
+                });
+            }
+        }
+
+        let (mut stale, mut down, mut degenerate) = (0usize, 0usize, 0usize);
+        let mut picked: Vec<(usize, f64)> = Vec::new();
+        for (i, o) in self.observations.iter().enumerate() {
+            let meta = self.meta[i];
+            if self.policy.is_stale(meta.age) {
+                stale += 1;
+                continue;
+            }
+            if o.spectrum.max_value() == 0.0 {
+                degenerate += 1;
+                continue;
+            }
+            let status = meta
+                .ap_id
+                .map_or(ApStatus::Healthy, |ap| self.health.status(ap, &self.policy));
+            match status {
+                ApStatus::Down => down += 1,
+                ApStatus::Degraded => picked.push((i, self.policy.degraded_weight)),
+                ApStatus::Healthy => picked.push((i, 1.0)),
+            }
+        }
+
+        let required = self.policy.min_quorum.max(1);
+        if picked.len() < required {
+            return Err(LocalizeError::QuorumNotMet {
+                available: picked.len(),
+                required,
+                stale,
+                down,
+                degenerate,
+            });
+        }
+
+        let slot = self.ensure_engine(bins);
+        let engine = slot.as_ref().expect("engine was just built");
+        // Tempered spectra need owned storage; full-trust ones are borrowed
+        // as-is so the all-healthy path is byte-identical to `localize`.
+        let tempered: Vec<Option<AoaSpectrum>> = picked
+            .iter()
+            .map(|&(i, w)| {
+                (w < 1.0).then(|| confidence_weighted(&self.observations[i].spectrum, w))
+            })
+            .collect();
+        let obs: Vec<(usize, &AoaSpectrum)> = picked
+            .iter()
+            .zip(&tempered)
+            .map(|(&(i, _), t)| (i, t.as_ref().unwrap_or(&self.observations[i].spectrum)))
+            .collect();
+        Ok(engine.localize(&obs))
     }
 
     /// The accumulated observations (for heatmap rendering).
@@ -369,5 +561,194 @@ mod tests {
     fn wrong_row_count_panics() {
         let block = SnapshotBlock::new(vec![vec![Complex64::ONE; 4]; 8]);
         process_frame(&block, &ApPipelineConfig::arraytrack(8)); // wants 9 rows
+    }
+
+    /// A synthetic single-lobe spectrum pointing at `target` from `pose`.
+    fn lobe_toward(pose: ApPose, target: at_channel::geometry::Point) -> AoaSpectrum {
+        let theta = pose.bearing_to(target);
+        AoaSpectrum::from_fn(720, |t| {
+            (-(angle_diff(t, theta) / 0.08).powi(2)).exp() + 1e-6
+        })
+    }
+
+    fn synthetic_server(target: at_channel::geometry::Point) -> ArrayTrackServer {
+        let mut server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)));
+        for (i, (center, axis)) in [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let pose = ApPose {
+                center,
+                axis_angle: axis,
+            };
+            server.add_observation_from(i, pose, lobe_toward(pose, target), 0);
+        }
+        server
+    }
+
+    #[test]
+    fn try_localize_matches_localize_when_all_healthy() {
+        let target = pt(7.0, 3.0);
+        let server = synthetic_server(target);
+        let a = server.localize();
+        let b = server.try_localize().expect("healthy deployment must fix");
+        // Bit-identical: the all-healthy degradation path is the same
+        // engine call on the same borrowed spectra.
+        assert_eq!(a.position.x, b.position.x);
+        assert_eq!(a.position.y, b.position.y);
+        assert_eq!(a.likelihood, b.likelihood);
+    }
+
+    #[test]
+    fn empty_server_returns_typed_error() {
+        let server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(1.0, 1.0)));
+        assert_eq!(server.try_localize(), Err(crate::health::LocalizeError::NoObservations));
+    }
+
+    #[test]
+    fn resolution_mismatch_is_typed_not_panic() {
+        let target = pt(6.0, 4.0);
+        let mut server = synthetic_server(target);
+        let pose = ApPose {
+            center: pt(3.0, 0.0),
+            axis_angle: 1.0,
+        };
+        let odd = AoaSpectrum::from_fn(360, |_| 1.0);
+        server.add_observation(pose, odd);
+        match server.try_localize() {
+            Err(crate::health::LocalizeError::ResolutionMismatch {
+                observation,
+                bins,
+                expected,
+            }) => {
+                assert_eq!((observation, bins, expected), (3, 360, 720));
+            }
+            other => panic!("expected ResolutionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn down_aps_are_excluded_and_quorum_enforced() {
+        let target = pt(5.0, 5.0);
+        let mut server =
+            synthetic_server(target).with_policy(crate::health::HealthPolicy {
+                min_quorum: 2,
+                ..Default::default()
+            });
+        // Kill APs 0 and 1 (5 consecutive failures each → Down).
+        for _ in 0..5 {
+            server.report_acquisition_failure(0);
+            server.report_acquisition_failure(1);
+        }
+        assert_eq!(server.ap_status(0), crate::health::ApStatus::Down);
+        match server.try_localize() {
+            Err(crate::health::LocalizeError::QuorumNotMet {
+                available,
+                required,
+                down,
+                ..
+            }) => {
+                assert_eq!((available, required, down), (1, 2, 2));
+            }
+            other => panic!("expected QuorumNotMet, got {other:?}"),
+        }
+        // Recovery: a successful acquisition resets AP 0 and quorum is met.
+        let pose = server.observations()[0].pose;
+        let spec = server.observations()[0].spectrum.clone();
+        server.add_observation_from(0, pose, spec, 0);
+        let est = server.try_localize().expect("quorum restored");
+        assert!(est.position.distance(target) < 0.3);
+    }
+
+    #[test]
+    fn stale_spectra_are_dropped() {
+        let target = pt(4.0, 3.0);
+        let mut server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)));
+        let poses = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+        ];
+        // All three spectra expired (age beyond the default max of 3).
+        for (i, (center, axis)) in poses.into_iter().enumerate() {
+            let pose = ApPose { center, axis_angle: axis };
+            server.add_observation_from(i, pose, lobe_toward(pose, target), 10);
+        }
+        match server.try_localize() {
+            Err(crate::health::LocalizeError::QuorumNotMet { stale, .. }) => {
+                assert_eq!(stale, 3);
+            }
+            other => panic!("expected QuorumNotMet, got {other:?}"),
+        }
+        // Refresh one: a single fresh AP meets the default quorum of 1.
+        let pose = ApPose { center: pt(0.0, 0.0), axis_angle: 0.3 };
+        server.add_observation_from(0, pose, lobe_toward(pose, target), 0);
+        assert!(server.try_localize().is_ok());
+    }
+
+    #[test]
+    fn degraded_ap_votes_but_cannot_veto() {
+        let target = pt(6.0, 4.0);
+        let mut server = synthetic_server(target);
+        // AP 2 becomes degraded (2 failures), then submits a *hostile*
+        // spectrum pointing somewhere else entirely.
+        server.report_acquisition_failure(2);
+        server.report_acquisition_failure(2);
+        assert_eq!(server.ap_status(2), crate::health::ApStatus::Degraded);
+        server.clear();
+        let poses = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+        ];
+        for (i, (center, axis)) in poses.into_iter().enumerate() {
+            let pose = ApPose { center, axis_angle: axis };
+            let spec = if i == 2 {
+                lobe_toward(pose, pt(1.0, 1.0)) // wrong target
+            } else {
+                lobe_toward(pose, target)
+            };
+            server.add_observation_from(i, pose, spec, 0);
+        }
+        let est = server.try_localize().expect("two healthy APs agree");
+        assert!(
+            est.position.distance(target) < 0.5,
+            "tempered dissenter must not drag the fix: {:?}",
+            est.position
+        );
+    }
+
+    #[test]
+    fn degenerate_spectra_are_dropped() {
+        let target = pt(6.0, 4.0);
+        let mut server = synthetic_server(target);
+        let pose = ApPose {
+            center: pt(3.0, 0.0),
+            axis_angle: 1.0,
+        };
+        let mut dead = AoaSpectrum::from_fn(720, |_| 1.0);
+        for v in dead.values_mut() {
+            *v = 0.0;
+        }
+        server.add_observation(pose, dead);
+        // The all-zero spectrum is dropped, the healthy three still fix.
+        let est = server.try_localize().expect("healthy APs remain");
+        assert!(est.position.distance(target) < 0.3);
+    }
+
+    #[test]
+    fn health_survives_clear_but_not_reset() {
+        let mut server = synthetic_server(pt(5.0, 4.0));
+        for _ in 0..5 {
+            server.report_acquisition_failure(1);
+        }
+        server.clear();
+        assert_eq!(server.ap_status(1), crate::health::ApStatus::Down);
+        server.reset_health();
+        assert_eq!(server.ap_status(1), crate::health::ApStatus::Healthy);
     }
 }

@@ -23,7 +23,7 @@ pub fn spatial_smooth(rxx: &CMatrix, groups: usize) -> CMatrix {
     let m = rxx.rows();
     assert!(groups >= 1, "need at least one group");
     assert!(
-        m >= groups + 1,
+        m > groups,
         "smoothing {m} antennas over {groups} groups leaves no usable subarray"
     );
     let ms = m - groups + 1;

@@ -73,6 +73,7 @@ impl SteeringTable {
     /// The process-wide shared table for `(elements, bins)`: built on first
     /// use, then reused by every subsequent scan with the same shape.
     pub fn shared(elements: usize, bins: usize) -> Arc<SteeringTable> {
+        #[allow(clippy::type_complexity)]
         static CACHE: OnceLock<Mutex<HashMap<(usize, usize), Arc<SteeringTable>>>> =
             OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));

@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn single_spectrum_passes_through() {
         let a = lobes(&[(60.0, 1.0), (140.0, 0.8)]);
-        let out = suppress_multipath(&[a.clone()], &SuppressionConfig::default());
+        let out = suppress_multipath(std::slice::from_ref(&a), &SuppressionConfig::default());
         assert_eq!(out, a);
     }
 

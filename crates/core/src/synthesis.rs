@@ -152,7 +152,7 @@ impl Heatmap {
 }
 
 /// A final position estimate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LocationEstimate {
     /// Estimated client position.
     pub position: Point,

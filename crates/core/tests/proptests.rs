@@ -6,7 +6,7 @@ use at_core::spectrum::AoaSpectrum;
 use at_core::steering::ula_steering;
 use at_core::suppression::{suppress_multipath, SuppressionConfig};
 use at_core::synthesis::{heatmap, likelihood, normalize_observations, ApObservation, ApPose, SearchRegion};
-use at_core::weighting::geometry_weight;
+use at_core::weighting::{confidence_weighted, geometry_weight};
 use at_channel::geometry::{angle_diff, pt};
 use at_linalg::{eigh, CMatrix, CVector, Complex64};
 use proptest::prelude::*;
@@ -149,6 +149,112 @@ proptest! {
             let lo = values[i].min(values[(i + 1) % 16]);
             let hi = values[i].max(values[(i + 1) % 16]);
             prop_assert!(mid >= lo - 1e-12 && mid <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn flattened_aps_leave_fusion_equal_to_healthy_subset(
+        cx in 2.0f64..18.0, cy in 2.0f64..8.0,
+        alive_bits in proptest::collection::vec(0usize..2, 4)
+    ) {
+        // Graceful degradation invariant: tempering an AP's spectrum all
+        // the way down to w = 0 (a flat all-ones spectrum) makes it a
+        // multiplicative identity, so fusing k-of-n with the other n − k
+        // flattened equals fusing the k healthy APs alone — everywhere,
+        // not just at the peak.
+        let alive: Vec<bool> = alive_bits.iter().map(|&b| b == 1).collect();
+        prop_assume!(alive.iter().any(|a| *a));
+        let target = pt(cx, cy);
+        let poses = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(20.0, 0.0), 2.2),
+            (pt(0.0, 10.0), -0.4),
+            (pt(20.0, 10.0), 3.5),
+        ];
+        let healthy: Vec<ApObservation> = poses
+            .iter()
+            .map(|&(center, axis)| {
+                let pose = ApPose { center, axis_angle: axis };
+                ApObservation {
+                    pose,
+                    spectrum: lobe_spectrum(&[(pose.bearing_to(target), 1.0)]),
+                }
+            })
+            .collect();
+        let full: Vec<ApObservation> = healthy
+            .iter()
+            .zip(&alive)
+            .map(|(o, &a)| ApObservation {
+                pose: o.pose,
+                spectrum: confidence_weighted(&o.spectrum, if a { 1.0 } else { 0.0 }),
+            })
+            .collect();
+        let subset: Vec<ApObservation> = healthy
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(o, _)| o.clone())
+            .collect();
+        let full = normalize_observations(&full);
+        let subset = normalize_observations(&subset);
+        for p in [target, pt(1.0, 1.0), pt(10.0, 5.0), pt(18.5, 9.0)] {
+            let lf = likelihood(&full, p);
+            let ls = likelihood(&subset, p);
+            prop_assert!(
+                (lf - ls).abs() <= 1e-9 * (1.0 + ls.abs()),
+                "k-of-n fusion mismatch at {p:?}: {lf} vs {ls}"
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_weighting_endpoints_are_identity_and_flat(
+        c1 in 0.3f64..2.8, p2 in 0.2f64..1.0
+    ) {
+        let s = lobe_spectrum(&[(c1, 1.0), (c1 + 2.0, p2)]);
+        let keep = confidence_weighted(&s, 1.0);
+        for (a, b) in keep.values().iter().zip(s.values()) {
+            prop_assert_eq!(*a, *b, "w = 1 must be the exact identity");
+        }
+        let flat = confidence_weighted(&s, 0.0);
+        for v in flat.values() {
+            prop_assert_eq!(*v, 1.0, "w = 0 must flatten to all-ones");
+        }
+        // Intermediate tempering stays within the normalized range.
+        let half = confidence_weighted(&s, 0.5);
+        for v in half.values() {
+            prop_assert!(v.is_finite() && *v >= 0.0 && *v <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dead_elements_keep_music_finite_and_mirror_symmetric(
+        rxx in rxx_strategy(),
+        dead in proptest::collection::vec(0usize..8, 0..6)
+    ) {
+        // An element dropout zeroes that row's gain: its rxx row/column
+        // collapse to the noise floor. MUSIC on the crippled matrix must
+        // stay finite, non-negative, and keep the ULA mirror symmetry —
+        // degraded aperture, never NaN.
+        let mut r = rxx;
+        for &m in &dead {
+            for j in 0..8 {
+                r[(m, j)] = Complex64::ZERO;
+                r[(j, m)] = Complex64::ZERO;
+            }
+        }
+        for &m in &dead {
+            r[(m, m)] = Complex64::real(0.01); // port still records noise
+        }
+        let spec = music_analysis_from_rxx(&r, &MusicConfig::default()).spectrum;
+        let n = spec.bins();
+        for v in spec.values() {
+            prop_assert!(v.is_finite() && *v >= 0.0);
+        }
+        for i in 1..n / 2 {
+            let a = spec.values()[i];
+            let b = spec.values()[n - i];
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
         }
     }
 

@@ -157,6 +157,32 @@ impl Calibration {
         let map: Vec<usize> = (0..block.antennas()).map(|m| m % radios).collect();
         self.apply(block, &map)
     }
+
+    /// A copy of this calibration whose per-radio corrections have drifted
+    /// by `drift[r]` radians (fault injection): the table no longer matches
+    /// the hardware it was measured on — the slow oscillator walk and
+    /// thermal drift a one-time CW calibration cannot track (§3 assumes
+    /// "the offsets stay constant once the radios are powered on"; real
+    /// deployments re-calibrate because they don't).
+    ///
+    /// # Panics
+    /// Panics if `drift` doesn't cover every radio.
+    pub fn with_drift(&self, drift: &[f64]) -> Calibration {
+        assert_eq!(
+            drift.len(),
+            self.offsets.len(),
+            "need one drift term per radio"
+        );
+        Calibration {
+            offsets: self
+                .offsets
+                .iter()
+                .zip(drift)
+                .map(|(o, d)| o + d)
+                .collect(),
+            external_mismatch: self.external_mismatch.clone(),
+        }
+    }
 }
 
 /// Measures each row's mean phase relative to row 0.
@@ -205,6 +231,7 @@ mod tests {
         let rig = CalibrationRig::new(4, 0.3, 22);
         let mut rng = StdRng::seed_from_u64(1);
         let measured = rig.measure(&fe, None, &mut rng);
+        #[allow(clippy::needless_range_loop)]
         for r in 1..4 {
             let true_internal = wrap_pi(fe.true_offset(r) - fe.true_offset(0));
             let cable_bias = rig.true_external_phase(r) - rig.true_external_phase(0);
@@ -293,6 +320,7 @@ mod tests {
         let rig = CalibrationRig::new(4, 0.0, 14);
         let mut rng = StdRng::seed_from_u64(5);
         let measured = rig.measure(&fe, None, &mut rng);
+        #[allow(clippy::needless_range_loop)]
         for r in 1..4 {
             let truth = wrap_pi(fe.true_offset(r) - fe.true_offset(0));
             assert!(wrap_err(measured[r], truth) < 0.02);

@@ -205,6 +205,7 @@ mod tests {
         let block = fe.capture(&streams, 4, 10);
         assert_eq!(block.antennas(), 2);
         assert_eq!(block.snapshots(), 10);
+        #[allow(clippy::needless_range_loop)]
         for m in 0..2 {
             for (a, b) in block.stream(m).iter().zip(&streams[m][4..14]) {
                 assert!((*a - *b).abs() < 1e-15);

@@ -197,6 +197,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w ≡ z · w⁻¹
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

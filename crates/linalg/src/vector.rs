@@ -21,6 +21,7 @@ impl CVector {
     }
 
     /// Builds a vector from any iterator of complex values.
+    #[allow(clippy::should_implement_trait)] // inherent name kept for call-site brevity
     pub fn from_iter<I: IntoIterator<Item = Complex64>>(iter: I) -> Self {
         Self {
             data: iter.into_iter().collect(),

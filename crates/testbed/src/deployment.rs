@@ -106,7 +106,7 @@ impl Deployment {
                     pose: ApPose { center, axis_angle },
                     frontend,
                     calibration,
-                    imperfection_seed: seed ^ (0xE1E_0 + i as u64),
+                    imperfection_seed: seed ^ (0xE1E0 + i as u64),
                 }
             })
             .collect();
@@ -126,14 +126,14 @@ impl Deployment {
             .into_iter()
             .enumerate()
             .map(|(i, (center, axis_angle))| {
-                let frontend = FrontEnd::new(8, seed ^ (0x1AB_00 + i as u64));
-                let rig = CalibrationRig::new(8, 0.3, seed ^ (0x1AB_11 + i as u64));
+                let frontend = FrontEnd::new(8, seed ^ (0x1AB00 + i as u64));
+                let rig = CalibrationRig::new(8, 0.3, seed ^ (0x1AB11 + i as u64));
                 let calibration = rig.calibrate(&frontend, &mut rng);
                 Ap {
                     pose: ApPose { center, axis_angle },
                     frontend,
                     calibration,
-                    imperfection_seed: seed ^ (0x1AB_E0 + i as u64),
+                    imperfection_seed: seed ^ (0x1ABE0 + i as u64),
                 }
             })
             .collect();
@@ -178,7 +178,36 @@ impl Deployment {
         rng: &mut R,
     ) -> SnapshotBlock {
         let ap = &self.aps[ap_idx];
-        let array = ap.array(cfg);
+        self.capture_frame_with(
+            ap_idx,
+            &ap.array(cfg),
+            &ap.calibration,
+            cfg.noise_power,
+            position,
+            tx,
+            cfg,
+            rng,
+        )
+    }
+
+    /// [`Deployment::capture_frame`] with the AP's hardware state made
+    /// explicit — the hook the fault-injection layer ([`crate::acquire`])
+    /// uses to substitute an impaired array, a drifted calibration table,
+    /// or a spiked noise floor. Passing the AP's own array, calibration
+    /// and `cfg.noise_power` reproduces `capture_frame` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_frame_with<R: Rng>(
+        &self,
+        ap_idx: usize,
+        array: &AntennaArray,
+        calibration: &Calibration,
+        noise_power: f64,
+        position: Point,
+        tx: &Transmitter,
+        cfg: &CaptureConfig,
+        rng: &mut R,
+    ) -> SnapshotBlock {
+        let ap = &self.aps[ap_idx];
         let sim = ChannelSim::new(&self.floorplan);
         let preamble = Preamble::new();
         let tx = Transmitter {
@@ -193,10 +222,10 @@ impl Deployment {
         let fs = ap.frontend.sample_rate;
         let t0 = LTS0_START_S;
         let duration = (LTS1_START_S - LTS0_START_S) + LONG_SYMBOL_S;
-        let mut streams = sim.receive(&tx, &array, |t| preamble.eval(t), t0, duration, fs);
+        let mut streams = sim.receive(&tx, array, |t| preamble.eval(t), t0, duration, fs);
 
         // Receiver noise.
-        let noise = NoiseSource::with_power(cfg.noise_power);
+        let noise = NoiseSource::with_power(noise_power);
         for s in &mut streams {
             noise.corrupt(s, rng);
         }
@@ -289,7 +318,7 @@ impl Deployment {
         if cfg.offrow {
             radio_of.push(0);
         }
-        ap.calibration.apply(&block, &radio_of)
+        calibration.apply(&block, &radio_of)
     }
 
     /// Captures a group of `frames` frames with ≤ 5 cm random client jitter

@@ -13,11 +13,16 @@
 //! - [`baselines`]: RSSI log-distance trilateration and RADAR-style
 //!   fingerprinting for the related-work comparison;
 //! - [`stream`]: the live Figure-1 loop — frames arriving over time, per-AP
-//!   circular buffers, 100 ms grouping, suppression, fusion and tracking.
+//!   circular buffers, 100 ms grouping, suppression, fusion and tracking;
+//! - [`acquire`]: the same capture path run under an injected
+//!   `at_core::faults::FaultPlan`, with retry/timeout semantics and typed
+//!   errors — the apparatus behind the robustness tier and the Fig. 14-style
+//!   accuracy-vs-failures curves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acquire;
 pub mod baselines;
 pub mod deployment;
 pub mod experiments;
@@ -25,6 +30,9 @@ pub mod metrics;
 pub mod office;
 pub mod stream;
 
+pub use acquire::{
+    acquire_spectrum, localize_under_faults, AcquireConfig, AcquireError, Acquisition,
+};
 pub use deployment::{parallel_map, Ap, CaptureConfig, Deployment};
 pub use experiments::{
     ap_subsets, compute_all_spectra, compute_spectrum, localization_sweep, localize_subset,

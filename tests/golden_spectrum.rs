@@ -1,0 +1,120 @@
+//! Golden-spectrum regression fixtures: known-good healthy-path
+//! pseudospectra committed under `tests/fixtures/`, asserting the
+//! processing chain stays bit-stable within tolerance across refactors.
+//!
+//! Regenerate after an *intentional* numerics change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_spectrum
+//! ```
+//!
+//! and commit the rewritten CSVs alongside the change that explains them.
+
+use arraytrack::core::AoaSpectrum;
+use arraytrack::testbed::{compute_spectrum, Deployment, ExperimentConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Deterministic generation seed (matches the committed fixtures).
+const SEED: u64 = 4242;
+
+/// Relative tolerance for "bit-stable within tolerance": the fixtures
+/// round-trip through decimal text, so exact bit equality is one ULP too
+/// strict; anything beyond this is a real numerics change.
+const RTOL: f64 = 1e-12;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn write_fixture(name: &str, spec: &AoaSpectrum) {
+    let mut out = String::from("bin,value\n");
+    for (i, v) in spec.values().iter().enumerate() {
+        out.push_str(&format!("{i},{v:.17e}\n"));
+    }
+    std::fs::write(fixture_path(name), out).expect("write golden fixture");
+}
+
+fn read_fixture(name: &str) -> Vec<f64> {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {path:?} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden_spectrum"
+        )
+    });
+    text.lines()
+        .skip(1)
+        .map(|l| {
+            l.split(',')
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("malformed fixture line in {path:?}: {l}"))
+        })
+        .collect()
+}
+
+/// The healthy-path scenario behind each committed fixture.
+fn scenarios() -> Vec<(&'static str, usize, usize)> {
+    // (fixture file, ap index, client index)
+    vec![
+        ("spectrum_ap0_client0.csv", 0, 0),
+        ("spectrum_ap2_client13.csv", 2, 13),
+        ("spectrum_ap5_client27.csv", 5, 27),
+    ]
+}
+
+fn generate(ap: usize, client: usize) -> AoaSpectrum {
+    let dep = Deployment::office(SEED);
+    let mut cfg = ExperimentConfig::arraytrack(SEED);
+    cfg.frames = 2;
+    let mut rng = StdRng::seed_from_u64(SEED ^ (1000 + client as u64));
+    compute_spectrum(&dep, ap, dep.clients[client], &cfg, &mut rng)
+}
+
+#[test]
+fn healthy_spectra_match_committed_goldens() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, ap, client) in scenarios() {
+        let spec = generate(ap, client);
+        if update {
+            write_fixture(name, &spec);
+            continue;
+        }
+        let golden = read_fixture(name);
+        assert_eq!(
+            golden.len(),
+            spec.bins(),
+            "{name}: bin count changed — regenerate deliberately"
+        );
+        for (i, (got, want)) in spec.values().iter().zip(&golden).enumerate() {
+            let tol = RTOL * (1.0 + want.abs());
+            assert!(
+                (got - want).abs() <= tol,
+                "{name}: bin {i} drifted: computed {got:.17e} vs golden {want:.17e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn goldens_are_sane_spectra() {
+    // The committed fixtures themselves must describe valid spectra:
+    // finite, non-negative, and carrying at least one clear lobe.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // fixtures are being rewritten concurrently
+    }
+    for (name, _, _) in scenarios() {
+        let v = read_fixture(name);
+        assert!(!v.is_empty(), "{name} is empty");
+        assert!(
+            v.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "{name} holds non-finite or negative bins"
+        );
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.0, "{name} is all-zero");
+    }
+}
