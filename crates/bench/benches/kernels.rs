@@ -39,11 +39,7 @@ fn sample_block() -> SnapshotBlock {
         (0..8)
             .map(|m| {
                 (0..10)
-                    .map(|t| {
-                        Complex64::cis(
-                            m as f64 * 1.1 + t as f64 * 0.3,
-                        )
-                    })
+                    .map(|t| Complex64::cis(m as f64 * 1.1 + t as f64 * 0.3))
                     .collect()
             })
             .collect(),
@@ -75,9 +71,7 @@ fn bench_correlation_matrix(c: &mut Criterion) {
 /// The six-AP, 20×10 m, 10 cm-grid synthesis fixture shared by the
 /// exhaustive and engine benches.
 fn synthesis_fixture() -> (Vec<ApObservation>, SearchRegion) {
-    let spectrum = AoaSpectrum::from_fn(720, |t| {
-        (-((t - 1.0) / 0.1).powi(2)).exp() + 1e-4
-    });
+    let spectrum = AoaSpectrum::from_fn(720, |t| (-((t - 1.0) / 0.1).powi(2)).exp() + 1e-4);
     let observations: Vec<ApObservation> = (0..6)
         .map(|i| ApObservation {
             pose: ApPose {

@@ -35,6 +35,9 @@ fn main() -> std::io::Result<()> {
         run()?;
         eprintln!("[{name}] done in {:.1} s", t.elapsed().as_secs_f64());
     }
-    eprintln!("all experiments done in {:.1} s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "all experiments done in {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
     Ok(())
 }

@@ -1,5 +1,14 @@
 //! Localization-engine performance baseline: cold vs warm query latency on
-//! the Fig. 15 workload. Refreshes `BENCH_PERF.json` at the repo root.
+//! the Fig. 15 workload, plus the observed per-stage latency budget.
+//!
+//! - default: full run, refreshes `BENCH_PERF.json` at the repo root;
+//! - `--smoke`: tiny-workload CI gate comparing the observed stage budget
+//!   against the committed baseline (non-zero exit on regression).
 fn main() -> std::io::Result<()> {
-    at_bench::experiments::perf::run()
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        at_bench::experiments::perf::run_smoke()
+    } else {
+        at_bench::experiments::perf::run()
+    }
 }

@@ -116,10 +116,20 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["variant", "3AP med(m)", "3AP mean(m)", "6AP med(m)", "6AP mean(m)"],
+        &[
+            "variant",
+            "3AP med(m)",
+            "3AP mean(m)",
+            "6AP med(m)",
+            "6AP mean(m)",
+        ],
         &rows,
     );
-    report.csv("results", &["variant", "aps", "median_m", "mean_m"], csv_rows)?;
+    report.csv(
+        "results",
+        &["variant", "aps", "median_m", "mean_m"],
+        csv_rows,
+    )?;
     report.line("expected: removing symmetry removal or suppression hurts most at 3 APs");
     Ok(())
 }

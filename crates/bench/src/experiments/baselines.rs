@@ -42,7 +42,10 @@ pub fn run() -> std::io::Result<()> {
 
     // Baseline 2: RADAR-style fingerprinting on a 2 m training grid.
     let db = FingerprintDb::build(&dep, &cfg, 2.0);
-    report.line(format!("fingerprint database: {} training points", db.len()));
+    report.line(format!(
+        "fingerprint database: {} training points",
+        db.len()
+    ));
     let fp_errors: Vec<f64> = dep
         .clients
         .iter()

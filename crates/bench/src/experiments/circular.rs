@@ -86,9 +86,7 @@ pub fn run() -> std::io::Result<()> {
         let fold_err = |spec: &AoaSpectrum| -> f64 {
             spec.find_peaks(0.5)
                 .first()
-                .map(|p| {
-                    angle_diff(p.theta, theta).min(angle_diff(p.theta, TAU - theta))
-                })
+                .map(|p| angle_diff(p.theta, theta).min(angle_diff(p.theta, TAU - theta)))
                 .unwrap_or(f64::INFINITY)
         };
         lin_err += fold_err(&lin_spec).to_degrees() / trials as f64;
@@ -97,17 +95,23 @@ pub fn run() -> std::io::Result<()> {
         if lin_spec.has_peak_near(TAU - theta, 0.1, 0.5) {
             lin_ghosts += 1;
         }
-        if circ_spec.has_peak_near(TAU - theta, 0.1, 0.5)
-            && angle_diff(theta, TAU - theta) > 0.2
-        {
+        if circ_spec.has_peak_near(TAU - theta, 0.1, 0.5) && angle_diff(theta, TAU - theta) > 0.2 {
             circ_ghosts += 1;
         }
     }
     report.table(
         &["array", "mean |bearing err|(°)", "mirror ghosts"],
         &[
-            vec!["linear-8".into(), f3(lin_err), format!("{lin_ghosts}/{trials}")],
-            vec!["circular-8".into(), f3(circ_err), format!("{circ_ghosts}/{trials}")],
+            vec![
+                "linear-8".into(),
+                f3(lin_err),
+                format!("{lin_ghosts}/{trials}"),
+            ],
+            vec![
+                "circular-8".into(),
+                f3(circ_err),
+                format!("{circ_ghosts}/{trials}"),
+            ],
         ],
     );
 
@@ -144,13 +148,26 @@ pub fn run() -> std::io::Result<()> {
                     .collect()
             })
             .collect();
-        variants.push((if circular { "circular-8" } else { "linear-8 (NG=2)" }, spectra));
+        variants.push((
+            if circular {
+                "circular-8"
+            } else {
+                "linear-8 (NG=2)"
+            },
+            spectra,
+        ));
     }
 
     let mut rows = Vec::new();
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for (label, spectra) in &variants {
-        let stats = localization_sweep(&dep, spectra, &[3, 6], 0.2, at_testbed::experiments::default_threads());
+        let stats = localization_sweep(
+            &dep,
+            spectra,
+            &[3, 6],
+            0.2,
+            at_testbed::experiments::default_threads(),
+        );
         rows.push(vec![
             label.to_string(),
             f3(stats[&3].median()),
@@ -168,7 +185,13 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["array", "3AP med(m)", "3AP mean(m)", "6AP med(m)", "6AP mean(m)"],
+        &[
+            "array",
+            "3AP med(m)",
+            "3AP mean(m)",
+            "6AP med(m)",
+            "6AP mean(m)",
+        ],
         &rows,
     );
     report.csv("results", &["array", "aps", "median_m", "mean_m"], csv_rows)?;

@@ -77,8 +77,7 @@ pub fn run() -> std::io::Result<()> {
         spec.find_peaks(0.3)
             .iter()
             .map(|p| {
-                angle_diff(p.theta, truth)
-                    .min(angle_diff(p.theta, std::f64::consts::TAU - truth))
+                angle_diff(p.theta, truth).min(angle_diff(p.theta, std::f64::consts::TAU - truth))
             })
             .fold(f64::INFINITY, f64::min)
             .to_degrees()
@@ -96,7 +95,10 @@ pub fn run() -> std::io::Result<()> {
         &[
             vec!["client A bearing error (°)".into(), f1(err_a)],
             vec!["client B bearing error (°)".into(), f1(err_b)],
-            vec!["A's peak cancelled from B's spectrum".into(), (!a_in_second).to_string()],
+            vec![
+                "A's peak cancelled from B's spectrum".into(),
+                (!a_in_second).to_string(),
+            ],
         ],
     );
 

@@ -103,7 +103,14 @@ pub fn run() -> std::io::Result<()> {
         ]);
     }
     report.table(
-        &["client (x,y,h)", "2D err(m)", "elevation(°)", "ĥ(m)", "height err(m)", "3D err(m)"],
+        &[
+            "client (x,y,h)",
+            "2D err(m)",
+            "elevation(°)",
+            "ĥ(m)",
+            "height err(m)",
+            "3D err(m)",
+        ],
         &rows,
     );
     report.csv(

@@ -67,7 +67,10 @@ pub fn run() -> std::io::Result<()> {
             spec.find_peaks(0.5).len().to_string(),
         ]);
     }
-    report.table(&["estimator", "main lobe width(°)", "half-power peaks"], &sharp_rows);
+    report.table(
+        &["estimator", "main lobe width(°)", "half-power peaks"],
+        &sharp_rows,
+    );
 
     // Full-office localization, 3 and 6 APs, estimator isolated.
     let mut rows = Vec::new();
@@ -111,10 +114,20 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["estimator", "3AP med(m)", "3AP mean(m)", "6AP med(m)", "6AP mean(m)"],
+        &[
+            "estimator",
+            "3AP med(m)",
+            "3AP mean(m)",
+            "6AP med(m)",
+            "6AP mean(m)",
+        ],
         &rows,
     );
-    report.csv("results", &["estimator", "aps", "median_m", "mean_m"], csv_rows)?;
+    report.csv(
+        "results",
+        &["estimator", "aps", "median_m", "mean_m"],
+        csv_rows,
+    )?;
     report.line("expected: MUSIC's sharper spectra translate into better fusion accuracy");
     Ok(())
 }

@@ -80,7 +80,13 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["NG", "eff_antennas", "peaks", "direct_visible", "top peaks (deg, power)"],
+        &[
+            "NG",
+            "eff_antennas",
+            "peaks",
+            "direct_visible",
+            "top peaks (deg, power)",
+        ],
         &rows,
     );
     report.csv("spectra", &["ng", "theta_deg", "power"], csv_rows)?;

@@ -37,10 +37,8 @@ pub fn run() -> std::io::Result<()> {
             for ap in 0..dep.aps.len() {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let tx = Transmitter::at(client);
-                let blocks =
-                    dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
-                let spectra: Vec<_> =
-                    blocks.iter().map(|b| process_frame(b, &pipeline)).collect();
+                let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
+                let spectra: Vec<_> = blocks.iter().map(|b| process_frame(b, &pipeline)).collect();
                 let before = spectra[0].normalized().find_peaks(0.05).len();
                 let out = suppress_multipath(&spectra, &SuppressionConfig::default());
                 let after = out.normalized().find_peaks(0.05).len();
@@ -62,10 +60,7 @@ pub fn run() -> std::io::Result<()> {
     let mut rng = StdRng::seed_from_u64(seed);
     let tx = Transmitter::at(client);
     let blocks = dep.capture_frame_group(ap, client, &tx, &cfg, 3, 0.05, &mut rng);
-    let spectra: Vec<_> = blocks
-        .iter()
-        .map(|b| process_frame(b, &pipeline))
-        .collect();
+    let spectra: Vec<_> = blocks.iter().map(|b| process_frame(b, &pipeline)).collect();
 
     let describe = |label: &str, s: &at_core::AoaSpectrum| {
         let peaks = s.normalized().find_peaks(0.05);

@@ -56,7 +56,15 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["APs", "n", "median(m)", "mean(m)", "p95(m)", "paper med", "paper mean"],
+        &[
+            "APs",
+            "n",
+            "median(m)",
+            "mean(m)",
+            "p95(m)",
+            "paper med",
+            "paper mean",
+        ],
         &rows,
     );
     report.csv("cdf", &["aps", "error_m", "cdf"], csv_rows)?;

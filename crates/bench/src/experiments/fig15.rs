@@ -25,8 +25,20 @@ pub fn run() -> std::io::Result<()> {
     report.line("computing unoptimized spectra...");
     let raw_spectra = compute_all_spectra(&dep, &raw_cfg);
 
-    let opt = localization_sweep(&dep, &opt_spectra, &sizes, opt_cfg.grid_step, opt_cfg.threads);
-    let raw = localization_sweep(&dep, &raw_spectra, &sizes, raw_cfg.grid_step, raw_cfg.threads);
+    let opt = localization_sweep(
+        &dep,
+        &opt_spectra,
+        &sizes,
+        opt_cfg.grid_step,
+        opt_cfg.threads,
+    );
+    let raw = localization_sweep(
+        &dep,
+        &raw_spectra,
+        &sizes,
+        raw_cfg.grid_step,
+        raw_cfg.threads,
+    );
 
     let paper = [
         // (aps, arraytrack median, arraytrack mean, raw mean)

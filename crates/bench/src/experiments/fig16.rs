@@ -7,7 +7,9 @@
 
 use crate::report::{f3, thin_cdf, Report};
 use at_core::pipeline::ApPipelineConfig;
-use at_testbed::{compute_all_spectra, localization_sweep, CaptureConfig, Deployment, ExperimentConfig};
+use at_testbed::{
+    compute_all_spectra, localization_sweep, CaptureConfig, Deployment, ExperimentConfig,
+};
 
 /// Runs the experiment.
 pub fn run() -> std::io::Result<()> {
@@ -43,7 +45,11 @@ pub fn run() -> std::io::Result<()> {
             f3(s.median()),
             f3(s.mean()),
             f3(s.percentile(95.0)),
-            if paper.is_nan() { "-".into() } else { f3(paper) },
+            if paper.is_nan() {
+                "-".into()
+            } else {
+                f3(paper)
+            },
         ]);
         for (e, f) in thin_cdf(&s.cdf_points(), 100) {
             csv_rows.push(vec![elements.to_string(), f3(e), f3(f)]);
@@ -51,7 +57,13 @@ pub fn run() -> std::io::Result<()> {
     }
 
     report.table(
-        &["antennas", "median(m)", "mean(m)", "p95(m)", "paper mean(m)"],
+        &[
+            "antennas",
+            "median(m)",
+            "mean(m)",
+            "p95(m)",
+            "paper mean(m)",
+        ],
         &rows,
     );
     report.csv("cdf", &["antennas", "error_m", "cdf"], csv_rows)?;

@@ -88,7 +88,13 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["pillars", "peaks", "direct rank", "direct power", "in top-3"],
+        &[
+            "pillars",
+            "peaks",
+            "direct rank",
+            "direct power",
+            "in top-3",
+        ],
         &rows,
     );
     report.csv("spectra", &["pillars", "theta_deg", "power"], csv_rows)?;

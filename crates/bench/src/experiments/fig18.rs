@@ -60,7 +60,13 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["variant", "median(m)", "mean(m)", "p95(m)", "paper median(m)"],
+        &[
+            "variant",
+            "median(m)",
+            "mean(m)",
+            "p95(m)",
+            "paper median(m)",
+        ],
         &rows,
     );
     report.csv("cdf", &["variant", "error_m", "cdf"], csv_rows)?;

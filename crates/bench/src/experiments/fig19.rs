@@ -66,7 +66,13 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     report.table(
-        &["samples", "packets", "mean bearing(°)", "stddev(°)", "truth(°)"],
+        &[
+            "samples",
+            "packets",
+            "mean bearing(°)",
+            "stddev(°)",
+            "truth(°)",
+        ],
         &rows,
     );
     report.csv("bearings", &["samples", "bearing_deg"], csv_rows)?;

@@ -55,21 +55,14 @@ pub fn run() -> std::io::Result<()> {
             lobes += spec.find_peaks(0.5).len() as f64 / packets as f64;
             if let Some(p) = spec.find_peaks(0.5).first() {
                 let e = at_channel::geometry::angle_diff(p.theta, truth).min(
-                    at_channel::geometry::angle_diff(
-                        p.theta,
-                        std::f64::consts::TAU - truth,
-                    ),
+                    at_channel::geometry::angle_diff(p.theta, std::f64::consts::TAU - truth),
                 );
                 sq_err += e * e / packets as f64;
             }
             last_spec = Some(spec);
         }
         let spec = last_spec.expect("at least one packet");
-        rows.push(vec![
-            f1(snr_db),
-            f3(sq_err.sqrt().to_degrees()),
-            f1(lobes),
-        ]);
+        rows.push(vec![f1(snr_db), f3(sq_err.sqrt().to_degrees()), f1(lobes)]);
         for i in 0..=spec.bins() / 2 {
             csv_rows.push(vec![
                 f1(snr_db),
@@ -78,7 +71,10 @@ pub fn run() -> std::io::Result<()> {
             ]);
         }
     }
-    report.table(&["SNR(dB)", "bearing RMSE(°)", "half-power lobes (avg)"], &rows);
+    report.table(
+        &["SNR(dB)", "bearing RMSE(°)", "half-power lobes (avg)"],
+        &rows,
+    );
     report.csv("spectra", &["snr_db", "theta_deg", "power"], csv_rows)?;
     report.line("paper: sharp spectra at 15/8/2 dB; large side lobes below 0 dB");
     Ok(())

@@ -83,7 +83,12 @@ pub fn run() -> std::io::Result<()> {
     );
     report.csv(
         "errors",
-        &["distance_m", "closed_form_pct", "simulated_pct", "paper_pct"],
+        &[
+            "distance_m",
+            "closed_form_pct",
+            "simulated_pct",
+            "paper_pct",
+        ],
         csv_rows,
     )?;
     report.line("shape: % error shrinks with distance; a 1.5 m offset costs only a few percent");

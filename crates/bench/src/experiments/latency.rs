@@ -7,13 +7,13 @@
 //! 100 ms in Matlab on a 2.80 GHz Xeon.
 
 use crate::report::{f3, Report};
+use at_channel::Transmitter;
 use at_core::latency::{frame_airtime, traffic_bps, transfer_time, LatencyModel};
 use at_core::pipeline::{process_frame, ApPipelineConfig};
 use at_core::synthesis::{localize, ApObservation};
 use at_core::AoaSpectrum;
 use at_testbed::experiments::localization_engine;
 use at_testbed::{CaptureConfig, Deployment};
-use at_channel::Transmitter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -93,15 +93,27 @@ pub fn run() -> std::io::Result<()> {
     let airtime = frame_airtime(1500, 54e6);
     let model = LatencyModel::paper_defaults(airtime, tp);
     let rows = vec![
-        vec!["T (1500 B @ 54 Mbit/s)".into(), f3(airtime * 1e3), "0.222".into()],
-        vec!["Td detection".into(), f3(model.detection * 1e3), "0.016".into()],
+        vec![
+            "T (1500 B @ 54 Mbit/s)".into(),
+            f3(airtime * 1e3),
+            "0.222".into(),
+        ],
+        vec![
+            "Td detection".into(),
+            f3(model.detection * 1e3),
+            "0.016".into(),
+        ],
         vec![
             "Tt transfer (10 smp x 8 radios @ 1 Mbit/s)".into(),
             f3(transfer_time(10, 8, 1e6) * 1e3),
             "2.56".into(),
         ],
         vec!["Tl bus".into(), f3(model.bus * 1e3), "30".into()],
-        vec!["Tp processing".into(), f3(tp * 1e3), "100 (Matlab/Xeon)".into()],
+        vec![
+            "Tp processing".into(),
+            f3(tp * 1e3),
+            "100 (Matlab/Xeon)".into(),
+        ],
         vec![
             "Tp processing (warm engine)".into(),
             f3(tp_engine * 1e3),

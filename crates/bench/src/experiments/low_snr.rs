@@ -54,7 +54,11 @@ pub fn run() -> std::io::Result<()> {
         &["SNR(dB)", "matched-filter rate", "Schmidl-Cox rate"],
         &rows,
     );
-    report.csv("rates", &["snr_db", "matched_filter", "schmidl_cox"], csv_rows)?;
+    report.csv(
+        "rates",
+        &["snr_db", "matched_filter", "schmidl_cox"],
+        csv_rows,
+    )?;
     report.line("paper: full-preamble detection keeps working at -10 dB; Schmidl-Cox does not");
     Ok(())
 }

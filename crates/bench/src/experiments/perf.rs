@@ -1,18 +1,28 @@
 //! Performance baseline: the query-scale localization engine vs the
 //! exhaustive reference path, on the Fig. 15 workload (six APs, the full
-//! 48 m x 24 m office, 10 cm grid).
+//! 48 m x 24 m office, 10 cm grid) — plus the observed per-stage latency
+//! budget (detection / spectrum / fusion, the paper's §4.4 table) read
+//! from the `at-obs` metrics the instrumented pipeline records.
 //!
-//! Writes `BENCH_PERF.json` at the repo root so the speedup claim in
-//! DESIGN.md is backed by a committed, reproducible measurement
-//! (`cargo run --release -p at-bench --bin perf_report`).
+//! Two entry points:
+//!
+//! - [`run`] (default) writes `BENCH_PERF.json` at the repo root so the
+//!   speedup claim in DESIGN.md is backed by a committed, reproducible
+//!   measurement (`cargo run --release -p at-bench --bin perf_report`);
+//! - [`run_smoke`] (`perf_report --smoke`) is the CI bench-smoke gate: a
+//!   tiny workload (3 clients, 50 cm grid) whose observed stage budget
+//!   must stay within [`SMOKE_TOLERANCE`]× of the committed baseline.
+//!   `AT_SMOKE_INJECT_MS` inflates the observed stages — the hook the CI
+//!   self-test uses to prove the gate actually fails on a regression.
 
 use crate::report::{f3, Report};
 use at_core::pipeline::{process_frame, ApPipelineConfig};
 use at_core::synthesis::{localize, ApObservation};
 use at_core::AoaSpectrum;
-use at_testbed::experiments::{
-    compute_all_spectra, localization_engine, ExperimentConfig,
-};
+use at_dsp::detector::MatchedFilter;
+use at_dsp::preamble::Preamble;
+use at_obs::{LatencyBudget, MetricsSnapshot};
+use at_testbed::experiments::{compute_all_spectra, localization_engine, ExperimentConfig};
 use at_testbed::Deployment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +36,14 @@ const ROUNDS: usize = 3;
 /// Where the committed JSON baseline lives (repo root).
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PERF.json");
 
+/// Smoke gate: observed stage p50 must be `<= baseline * SMOKE_TOLERANCE +
+/// SMOKE_SLACK_MS`. Generous on purpose — the gate exists to catch real
+/// regressions (an accidental O(n²), a lost cache), not scheduler noise.
+const SMOKE_TOLERANCE: f64 = 3.0;
+
+/// Absolute slack absorbing timer granularity on near-zero stages, ms.
+const SMOKE_SLACK_MS: f64 = 0.05;
+
 /// Percentile of a sample set, nearest-rank on the sorted copy.
 fn percentile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty());
@@ -35,7 +53,54 @@ fn percentile(samples: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-/// Runs the experiment.
+/// Exercises the preamble detector a few times so the `detect` stage
+/// histogram has observations (the front half of the paper's `Td`).
+fn exercise_detector(reps: usize) {
+    let p = Preamble::new();
+    let mf = MatchedFilter::new(&p, at_dsp::SAMPLE_RATE_HZ);
+    let mut rx = vec![at_linalg::Complex64::ZERO; 200];
+    rx.extend(p.reference(at_dsp::SAMPLE_RATE_HZ));
+    rx.extend(vec![at_linalg::Complex64::ZERO; 200]);
+    let mut rng = StdRng::seed_from_u64(424_242);
+    at_dsp::awgn::NoiseSource::for_snr_db(10.0).corrupt(&mut rx, &mut rng);
+    for _ in 0..reps {
+        assert!(mf.detect(&rx).is_some(), "clean preamble must detect");
+    }
+}
+
+/// Writes the full metrics snapshot next to the other experiment outputs,
+/// in both export formats.
+fn write_snapshot(report: &Report, name: &str, snap: &MetricsSnapshot) -> std::io::Result<()> {
+    for (ext, body) in [("prom", snap.to_prometheus()), ("json", snap.to_json())] {
+        let path = report.dir().join(format!("{name}.{ext}"));
+        std::fs::write(&path, body)?;
+        report.line(format!("  -> wrote {}", path.display()));
+    }
+    Ok(())
+}
+
+/// First number following `"key":` in a JSON document. Good enough for the
+/// flat documents this module itself writes; not a general parser.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pos = json.find(&format!("\"{key}\""))?;
+    let rest = &json[pos..];
+    let tail = rest[rest.find(':')? + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The committed baseline's per-stage budget, from `BENCH_PERF.json`.
+fn baseline_budget(json: &str) -> Option<LatencyBudget> {
+    Some(LatencyBudget {
+        detect_ms: extract_number(json, "detect")?,
+        spectrum_ms: extract_number(json, "spectrum")?,
+        fusion_ms: extract_number(json, "fusion")?,
+    })
+}
+
+/// Runs the full baseline experiment and refreshes `BENCH_PERF.json`.
 pub fn run() -> std::io::Result<()> {
     let report = Report::new("perf")?;
     report.section("Localization-engine performance baseline (Fig. 15 workload)");
@@ -47,6 +112,8 @@ pub fn run() -> std::io::Result<()> {
     let spectra = compute_all_spectra(&dep, &cfg);
     let bins = spectra[0][0].bins();
     let region = dep.search_region(); // 10 cm grid, as in the paper
+
+    exercise_detector(20);
 
     // Per-frame MUSIC cost (the shared front half of both paths).
     let client = dep.clients[10];
@@ -87,8 +154,7 @@ pub fn run() -> std::io::Result<()> {
             let cold = localize(&observations, region);
             cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
 
-            let obs: Vec<(usize, &AoaSpectrum)> =
-                client_spectra.iter().enumerate().collect();
+            let obs: Vec<(usize, &AoaSpectrum)> = client_spectra.iter().enumerate().collect();
             let t = Instant::now();
             let warm = engine.localize(&obs);
             warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
@@ -104,6 +170,13 @@ pub fn run() -> std::io::Result<()> {
     let warm_p95 = percentile(&warm_ms, 0.95);
     let speedup = cold_p50 / warm_p50;
 
+    // The observed per-stage budget, straight from the instrumented
+    // pipeline's metrics (not re-measured here): the paper's §4.4 table.
+    let snap = at_obs::global().snapshot();
+    let budget =
+        LatencyBudget::from_snapshot(&snap).expect("detect/spectrum/fusion stages all ran above");
+    write_snapshot(&report, "perf_metrics", &snap)?;
+
     let rows = vec![
         vec!["MUSIC per frame p50".into(), f3(music_p50)],
         vec!["engine build (one-time)".into(), f3(build_ms)],
@@ -111,7 +184,13 @@ pub fn run() -> std::io::Result<()> {
         vec!["cold localize p95".into(), f3(cold_p95)],
         vec!["warm engine localize p50".into(), f3(warm_p50)],
         vec!["warm engine localize p95".into(), f3(warm_p95)],
-        vec!["speedup (cold p50 / warm p50)".into(), format!("{speedup:.1}x")],
+        vec![
+            "speedup (cold p50 / warm p50)".into(),
+            format!("{speedup:.1}x"),
+        ],
+        vec!["stage budget: detect p50".into(), f3(budget.detect_ms)],
+        vec!["stage budget: spectrum p50".into(), f3(budget.spectrum_ms)],
+        vec!["stage budget: fusion p50".into(), f3(budget.fusion_ms)],
     ];
     report.table(&["metric", "ms"], &rows);
     report.line(format!(
@@ -124,12 +203,93 @@ pub fn run() -> std::io::Result<()> {
     )?;
 
     let json = format!(
-        "{{\n  \"workload\": \"office 48x24 m, 6 APs, 41 clients, 10 cm grid, {bins}-bin spectra\",\n  \"queries\": {queries},\n  \"music_per_frame_ms_p50\": {music_p50:.3},\n  \"engine_build_ms\": {build_ms:.3},\n  \"cold_localize_ms\": {{ \"p50\": {cold_p50:.3}, \"p95\": {cold_p95:.3} }},\n  \"warm_engine_localize_ms\": {{ \"p50\": {warm_p50:.3}, \"p95\": {warm_p95:.3} }},\n  \"speedup_warm_vs_cold_p50\": {speedup:.2},\n  \"max_position_disagreement_m\": {max_disagreement:.6}\n}}\n"
+        "{{\n  \"workload\": \"office 48x24 m, 6 APs, 41 clients, 10 cm grid, {bins}-bin spectra\",\n  \"queries\": {queries},\n  \"music_per_frame_ms_p50\": {music_p50:.3},\n  \"engine_build_ms\": {build_ms:.3},\n  \"cold_localize_ms\": {{ \"p50\": {cold_p50:.3}, \"p95\": {cold_p95:.3} }},\n  \"warm_engine_localize_ms\": {{ \"p50\": {warm_p50:.3}, \"p95\": {warm_p95:.3} }},\n  \"speedup_warm_vs_cold_p50\": {speedup:.2},\n  \"max_position_disagreement_m\": {max_disagreement:.6},\n  \"stage_budget_ms\": {{ \"detect\": {:.3}, \"spectrum\": {:.3}, \"fusion\": {:.3} }}\n}}\n",
+        budget.detect_ms, budget.spectrum_ms, budget.fusion_ms,
     );
     let mut f = std::fs::File::create(BASELINE_PATH)?;
     f.write_all(json.as_bytes())?;
     report.line(format!("  -> wrote {BASELINE_PATH}"));
     Ok(())
+}
+
+/// The CI bench-smoke gate: a seconds-scale workload whose observed stage
+/// budget is compared against the committed `BENCH_PERF.json` baseline.
+/// Returns an error (non-zero exit) listing every regressed stage.
+pub fn run_smoke() -> std::io::Result<()> {
+    let report = Report::new("perf_smoke")?;
+    report.section("bench-smoke: per-stage latency budget vs BENCH_PERF.json");
+
+    // Tiny workload: 3 clients, 50 cm fusion grid, one frame each.
+    let mut dep = Deployment::office(7);
+    dep.clients.truncate(3);
+    let mut cfg = ExperimentConfig::arraytrack(7);
+    cfg.frames = 1;
+    exercise_detector(10);
+    let spectra = compute_all_spectra(&dep, &cfg);
+    let bins = spectra[0][0].bins();
+    let engine = localization_engine(&dep, 0.5, bins);
+    for _ in 0..5 {
+        for client_spectra in &spectra {
+            let obs: Vec<(usize, &AoaSpectrum)> = client_spectra.iter().enumerate().collect();
+            let est = engine.localize(&obs);
+            assert!(est.position.x.is_finite() && est.position.y.is_finite());
+        }
+    }
+
+    let snap = at_obs::global().snapshot();
+    let mut observed =
+        LatencyBudget::from_snapshot(&snap).expect("smoke workload ran every gated stage");
+    write_snapshot(&report, "smoke_metrics", &snap)?;
+
+    // Regression-injection hook for the gate's own CI self-test.
+    if let Ok(inject) = std::env::var("AT_SMOKE_INJECT_MS") {
+        let ms: f64 = inject.parse().map_err(|e| {
+            std::io::Error::other(format!("bad AT_SMOKE_INJECT_MS {inject:?}: {e}"))
+        })?;
+        report.line(format!(
+            "  !! injecting {ms} ms into every stage (AT_SMOKE_INJECT_MS)"
+        ));
+        observed.detect_ms += ms;
+        observed.spectrum_ms += ms;
+        observed.fusion_ms += ms;
+    }
+
+    let baseline_text = std::fs::read_to_string(BASELINE_PATH)?;
+    let baseline = baseline_budget(&baseline_text).ok_or_else(|| {
+        std::io::Error::other("BENCH_PERF.json has no stage_budget_ms; rerun perf_report")
+    })?;
+
+    report.table(
+        &["stage", "observed p50 ms", "baseline p50 ms", "limit ms"],
+        &observed
+            .stage_ms()
+            .iter()
+            .zip(baseline.stage_ms())
+            .map(|(&(stage, got), (_, base))| {
+                vec![
+                    stage.into(),
+                    f3(got),
+                    f3(base),
+                    f3(base * SMOKE_TOLERANCE + SMOKE_SLACK_MS),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let violations = observed.regressions_vs(&baseline, SMOKE_TOLERANCE, SMOKE_SLACK_MS);
+    if violations.is_empty() {
+        report.line(format!("bench-smoke gate passed: {observed}"));
+        Ok(())
+    } else {
+        for v in &violations {
+            report.line(format!("FAIL: {v}"));
+        }
+        Err(std::io::Error::other(format!(
+            "bench-smoke gate failed: {} stage(s) regressed past {}x baseline",
+            violations.len(),
+            SMOKE_TOLERANCE
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +303,46 @@ mod tests {
         assert_eq!(percentile(&v, 0.5), 51.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
         assert_eq!(percentile(&[42.0], 0.95), 42.0);
+    }
+
+    #[test]
+    fn extract_number_reads_flat_json() {
+        let j = "{ \"a\": 1.5, \"nested\": { \"detect\": 0.025, \"spectrum\": 7e-2 } }";
+        assert_eq!(extract_number(j, "a"), Some(1.5));
+        assert_eq!(extract_number(j, "detect"), Some(0.025));
+        assert_eq!(extract_number(j, "spectrum"), Some(0.07));
+        assert_eq!(extract_number(j, "missing"), None);
+    }
+
+    #[test]
+    fn baseline_budget_roundtrips_the_written_shape() {
+        let j =
+            "\"stage_budget_ms\": { \"detect\": 0.020, \"spectrum\": 0.070, \"fusion\": 0.900 }";
+        let b = baseline_budget(j).unwrap();
+        assert_eq!(b.detect_ms, 0.020);
+        assert_eq!(b.spectrum_ms, 0.070);
+        assert_eq!(b.fusion_ms, 0.900);
+    }
+
+    #[test]
+    fn smoke_gate_fails_on_injected_regression() {
+        // The exact comparison run_smoke performs, with a 10 ms injection
+        // on a sub-ms baseline: every stage must violate.
+        let baseline = LatencyBudget {
+            detect_ms: 0.02,
+            spectrum_ms: 0.07,
+            fusion_ms: 0.9,
+        };
+        let observed = LatencyBudget {
+            detect_ms: baseline.detect_ms + 10.0,
+            spectrum_ms: baseline.spectrum_ms + 10.0,
+            fusion_ms: baseline.fusion_ms + 10.0,
+        };
+        let v = observed.regressions_vs(&baseline, SMOKE_TOLERANCE, SMOKE_SLACK_MS);
+        assert_eq!(v.len(), 3, "injected regression must trip every stage");
+        // And an honest run (identical to baseline) passes.
+        assert!(baseline
+            .regressions_vs(&baseline, SMOKE_TOLERANCE, SMOKE_SLACK_MS)
+            .is_empty());
     }
 }

@@ -26,9 +26,13 @@ pub fn run() -> std::io::Result<()> {
     let cfg = CaptureConfig::default();
     // The 6 testbed APs plus 4 auxiliary listener sites, mimicking a
     // production WLAN's density.
-    let mut sites: Vec<at_channel::Point> =
-        dep.aps.iter().map(|a| a.pose.center).collect();
-    sites.extend([pt(12.0, 12.0), pt(24.0, 20.0), pt(36.0, 6.0), pt(44.0, 20.0)]);
+    let mut sites: Vec<at_channel::Point> = dep.aps.iter().map(|a| a.pose.center).collect();
+    sites.extend([
+        pt(12.0, 12.0),
+        pt(24.0, 20.0),
+        pt(36.0, 6.0),
+        pt(44.0, 20.0),
+    ]);
 
     let sim = ChannelSim::new(&dep.floorplan);
     let noise_db = 10.0 * cfg.noise_power.log10();
@@ -68,7 +72,11 @@ pub fn run() -> std::io::Result<()> {
         ]);
     }
     report.table(
-        &["reachability", "% clients @ decode SNR (+10 dB)", "% @ detect SNR (−10 dB)"],
+        &[
+            "reachability",
+            "% clients @ decode SNR (+10 dB)",
+            "% @ detect SNR (−10 dB)",
+        ],
         &rows,
     );
     report.csv(

@@ -141,14 +141,18 @@ pub fn run() -> std::io::Result<()> {
     report.line("AP outage sweep (k of 6 APs down, survivors fuse):");
     report.table(
         &["APs down", "fixes", "median(m)", "mean(m)", "p90(m)"],
-        &outage_rows.iter().map(SweepRow::to_table).collect::<Vec<_>>(),
+        &outage_rows
+            .iter()
+            .map(SweepRow::to_table)
+            .collect::<Vec<_>>(),
     );
 
     // ---- Sweep 2: antenna element dropout. ------------------------------
     let dead_counts = [0usize, 1, 2, 3, 4, 6, 8];
     let mut dropout_rows = Vec::new();
     for &dead in &dead_counts {
-        let plan = FaultPlan::random_dead_elements(n_aps, cfg.capture.elements, dead, 0xE1E + dead as u64);
+        let plan =
+            FaultPlan::random_dead_elements(n_aps, cfg.capture.elements, dead, 0xE1E + dead as u64);
         let acq = AcquireConfig::default();
         // Re-acquire every (client, AP) spectrum through the crippled
         // arrays; a `None` is a typed acquisition failure (all-dead AP).
@@ -177,7 +181,10 @@ pub fn run() -> std::io::Result<()> {
     report.line("antenna dropout sweep (k of 8 in-row elements dead at every AP):");
     report.table(
         &["elems dead", "fixes", "median(m)", "mean(m)", "p90(m)"],
-        &dropout_rows.iter().map(SweepRow::to_table).collect::<Vec<_>>(),
+        &dropout_rows
+            .iter()
+            .map(SweepRow::to_table)
+            .collect::<Vec<_>>(),
     );
 
     let csv: Vec<Vec<String>> = outage_rows

@@ -80,11 +80,7 @@ pub fn run() -> std::io::Result<()> {
         .enumerate()
         .map(|(i, l)| {
             let pct = 100.0 * tallies[i] as f64 / classified.max(1) as f64;
-            vec![
-                l.to_string(),
-                f1(pct),
-                f1(paper[i]),
-            ]
+            vec![l.to_string(), f1(pct), f1(paper[i])]
         })
         .collect();
     report.line(format!(

@@ -113,7 +113,10 @@ impl AntennaArray {
     /// chord is λ/2 (matching the ULA's element spacing), centered at
     /// `center`; `axis_angle` orients element 0's radial direction.
     pub fn uca(center: Point, axis_angle: f64, elements: usize) -> Self {
-        assert!(elements >= 3, "a circular array needs at least three elements");
+        assert!(
+            elements >= 3,
+            "a circular array needs at least three elements"
+        );
         let mut a = Self::ula(center, axis_angle, elements);
         a.layout = ArrayLayout::Circular;
         a
@@ -185,8 +188,7 @@ impl AntennaArray {
             return at_linalg::Complex64::ONE;
         };
         // splitmix64-style mix of (seed, m).
-        let mut z = seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(m as u64 + 1));
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(m as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
@@ -223,8 +225,7 @@ impl AntennaArray {
         match self.layout {
             ArrayLayout::Linear => {
                 if m < self.elements {
-                    let offset =
-                        (m as f64 - (self.elements as f64 - 1.0) / 2.0) * self.spacing;
+                    let offset = (m as f64 - (self.elements as f64 - 1.0) / 2.0) * self.spacing;
                     self.center.add(axis.scale(offset))
                 } else if m == self.elements && self.has_offrow_element {
                     let first = self.element_position(0);
@@ -235,9 +236,9 @@ impl AntennaArray {
             }
             ArrayLayout::Circular => {
                 assert!(m < self.elements, "element index {m} out of range");
-                let ang = self.axis_angle
-                    + m as f64 * std::f64::consts::TAU / self.elements as f64;
-                self.center.add(Point::unit(ang).scale(self.circle_radius()))
+                let ang = self.axis_angle + m as f64 * std::f64::consts::TAU / self.elements as f64;
+                self.center
+                    .add(Point::unit(ang).scale(self.circle_radius()))
             }
             ArrayLayout::Vertical => {
                 assert!(m < self.elements, "element index {m} out of range");
@@ -287,13 +288,17 @@ impl AntennaArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::f64::consts::{FRAC_PI_2, PI};
     use crate::geometry::pt;
+    use std::f64::consts::{FRAC_PI_2, PI};
 
     #[test]
     fn wavelength_matches_paper_spacing() {
         // Paper: "Antennas are spaced at a half wavelength distance (6.13 cm)".
-        assert!((half_wavelength() - 0.0613).abs() < 0.001, "{}", half_wavelength());
+        assert!(
+            (half_wavelength() - 0.0613).abs() < 0.001,
+            "{}",
+            half_wavelength()
+        );
     }
 
     #[test]
@@ -326,7 +331,10 @@ mod tests {
         let first = a.element_position(0);
         let ninth = a.element_position(8);
         let d = ninth.sub(first);
-        assert!((d.x).abs() < 1e-12, "off-row displacement must be perpendicular");
+        assert!(
+            (d.x).abs() < 1e-12,
+            "off-row displacement must be perpendicular"
+        );
         assert!((d.y - offrow_offset()).abs() < 1e-12);
     }
 

@@ -257,10 +257,7 @@ mod tests {
             let dphi = (rx[m + 1][3] / rx[m][3]).arg();
             // Element m+1 is closer to the source by λ/2 ⇒ +π phase
             // (mod 2π, so ±π is equivalent).
-            assert!(
-                (dphi.abs() - PI).abs() < 0.02,
-                "step {m}: {dphi} rad"
-            );
+            assert!((dphi.abs() - PI).abs() < 0.02, "step {m}: {dphi} rad");
         }
     }
 
@@ -306,10 +303,7 @@ mod tests {
     fn multipath_superposes_two_bearings() {
         // One metal wall ⇒ direct + one strong reflection; the per-antenna
         // streams must equal the sum of the two individual path responses.
-        let fp = Floorplan::empty().with_wall(
-            seg(pt(-50.0, 8.0), pt(50.0, 8.0)),
-            Material::METAL,
-        );
+        let fp = Floorplan::empty().with_wall(seg(pt(-50.0, 8.0), pt(50.0, 8.0)), Material::METAL);
         let sim = ChannelSim::new(&fp);
         let array = AntennaArray::ula(pt(0.0, 0.0), 0.0, 4);
         let tx = Transmitter::at(pt(12.0, 0.5));
@@ -317,8 +311,7 @@ mod tests {
         assert!(paths.len() >= 2);
         let combined = sim.receive(&tx, &array, cw, 0.0, 0.5e-6, SAMPLE_RATE_HZ);
         // Sum the per-path receptions.
-        let mut acc =
-            vec![vec![Complex64::ZERO; combined[0].len()]; combined.len()];
+        let mut acc = vec![vec![Complex64::ZERO; combined[0].len()]; combined.len()];
         for p in &paths {
             let single = sim.receive_via_paths(
                 std::slice::from_ref(p),
@@ -361,12 +354,14 @@ mod tests {
             SAMPLE_RATE_HZ,
         );
         let delay = d / crate::array::SPEED_OF_LIGHT;
-        assert!((delay * SAMPLE_RATE_HZ - 4.0).abs() < 0.1, "≈4 samples of delay");
+        assert!(
+            (delay * SAMPLE_RATE_HZ - 4.0).abs() < 0.1,
+            "≈4 samples of delay"
+        );
         // rx at sample k equals gain · preamble(t_k − delay): the ratio is a
         // constant complex gain across sample indices.
-        let ratio_at = |k: usize| {
-            rx[0][k] / p.eval(LTS0_START_S + k as f64 / SAMPLE_RATE_HZ - delay)
-        };
+        let ratio_at =
+            |k: usize| rx[0][k] / p.eval(LTS0_START_S + k as f64 / SAMPLE_RATE_HZ - delay);
         let g = ratio_at(10);
         let g2 = ratio_at(25);
         assert!((g - g2).abs() < 1e-9 * g.abs(), "{g} vs {g2}");
@@ -392,7 +387,10 @@ mod tests {
         // Off-row relative phase differs clearly.
         let a = (rx_up[8][1] / rx_up[0][1]).arg();
         let b = (rx_down[8][1] / rx_down[0][1]).arg();
-        assert!((a - b).abs() > 0.5, "off-row should disambiguate: {a} vs {b}");
+        assert!(
+            (a - b).abs() > 0.5,
+            "off-row should disambiguate: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -234,16 +234,14 @@ mod tests {
 
     #[test]
     fn clear_ray_has_no_loss() {
-        let fp = Floorplan::empty()
-            .with_wall(seg(pt(5.0, 2.0), pt(5.0, 4.0)), Material::METAL);
+        let fp = Floorplan::empty().with_wall(seg(pt(5.0, 2.0), pt(5.0, 4.0)), Material::METAL);
         let ray = seg(pt(0.0, 0.0), pt(10.0, 0.0));
         assert_eq!(fp.obstruction_loss_db(&ray, 1e-3), 0.0);
     }
 
     #[test]
     fn margin_excludes_reflection_wall() {
-        let fp = Floorplan::empty()
-            .with_wall(seg(pt(0.0, 5.0), pt(10.0, 5.0)), Material::CONCRETE);
+        let fp = Floorplan::empty().with_wall(seg(pt(0.0, 5.0), pt(10.0, 5.0)), Material::CONCRETE);
         // Ray landing exactly on the wall: with a margin the wall is not
         // counted as an obstruction of its own reflection point.
         let ray = seg(pt(2.0, 0.0), pt(5.0, 5.0));

@@ -224,7 +224,6 @@ pub fn angle_diff(a: f64, b: f64) -> f64 {
     d.min(std::f64::consts::TAU - d)
 }
 
-
 impl Segment {
     /// Distance from a point to the infinite line through the segment.
     pub fn distance_to_line(&self, p: Point) -> f64 {
@@ -341,4 +340,3 @@ mod tests {
         assert!((angle_diff(PI, 0.0) - PI).abs() < 1e-12);
     }
 }
-

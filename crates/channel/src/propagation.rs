@@ -88,7 +88,10 @@ impl<'a> PathTracer<'a> {
 
     /// Overrides the maximum reflection order (0, 1, or 2).
     pub fn with_max_order(mut self, max_order: usize) -> Self {
-        assert!(max_order <= 2, "only up to second-order reflections are implemented");
+        assert!(
+            max_order <= 2,
+            "only up to second-order reflections are implemented"
+        );
         self.max_order = max_order;
         self
     }
@@ -153,10 +156,7 @@ impl<'a> PathTracer<'a> {
         }
 
         // Drop paths far below the strongest.
-        let peak = paths
-            .iter()
-            .map(|p| p.gain.abs())
-            .fold(0.0f64, f64::max);
+        let peak = paths.iter().map(|p| p.gain.abs()).fold(0.0f64, f64::max);
         paths.retain(|p| p.gain.abs() >= peak * self.relative_floor);
         // Strongest first: a stable, convenient order for consumers.
         paths.sort_by(|a, b| {
@@ -186,7 +186,9 @@ impl<'a> PathTracer<'a> {
             // Specular reflection with phase inversion and roughness.
             let (rough, jitter) = self.roughness(wi, hit);
             let refl = Complex64::real(-wall.material.reflection) * rough;
-            if let Some(p) = self.make_path(rotate_about(image, rx, jitter), rx, dh, refl, loss_db, 1) {
+            if let Some(p) =
+                self.make_path(rotate_about(image, rx, jitter), rx, dh, refl, loss_db, 1)
+            {
                 out.push(p);
             }
         }
@@ -317,13 +319,14 @@ mod tests {
 
     #[test]
     fn single_wall_adds_one_reflection() {
-        let fp = Floorplan::empty().with_wall(
-            seg(pt(-20.0, 5.0), pt(30.0, 5.0)),
-            Material::CONCRETE,
+        let fp =
+            Floorplan::empty().with_wall(seg(pt(-20.0, 5.0), pt(30.0, 5.0)), Material::CONCRETE);
+        let paths = PathTracer::new(&fp).with_smooth_surfaces().trace(
+            pt(0.0, 0.0),
+            1.5,
+            pt(10.0, 0.0),
+            1.5,
         );
-        let paths = PathTracer::new(&fp)
-            .with_smooth_surfaces()
-            .trace(pt(0.0, 0.0), 1.5, pt(10.0, 0.0), 1.5);
         assert_eq!(paths.len(), 2);
         let refl = paths.iter().find(|p| p.order == 1).expect("reflection");
         // Mirror geometry: path length = |(0,10) - (10,0)| = √200.
@@ -336,10 +339,8 @@ mod tests {
 
     #[test]
     fn roughness_is_deterministic_but_position_sensitive() {
-        let fp = Floorplan::empty().with_wall(
-            seg(pt(-20.0, 5.0), pt(30.0, 5.0)),
-            Material::CONCRETE,
-        );
+        let fp =
+            Floorplan::empty().with_wall(seg(pt(-20.0, 5.0), pt(30.0, 5.0)), Material::CONCRETE);
         let tracer = PathTracer::new(&fp);
         let refl_at = |x: f64| {
             tracer
@@ -356,7 +357,10 @@ mod tests {
         // A decimeter of client motion shifts the reflection point into a
         // different roughness patch → different complex gain.
         let c = refl_at(0.4);
-        assert!((a - c).abs() > 1e-6 * a.abs(), "roughness should decorrelate");
+        assert!(
+            (a - c).abs() > 1e-6 * a.abs(),
+            "roughness should decorrelate"
+        );
         // Roughness never amplifies beyond the smooth-wall gain.
         let smooth = PathTracer::new(&fp)
             .with_smooth_surfaces()
@@ -372,10 +376,7 @@ mod tests {
     fn reflection_point_must_lie_on_wall_segment() {
         // Short wall segment far to the side: mirror image exists but the
         // specular point misses the segment, so no reflected path.
-        let fp = Floorplan::empty().with_wall(
-            seg(pt(100.0, 5.0), pt(101.0, 5.0)),
-            Material::METAL,
-        );
+        let fp = Floorplan::empty().with_wall(seg(pt(100.0, 5.0), pt(101.0, 5.0)), Material::METAL);
         let paths = PathTracer::new(&fp).trace(pt(0.0, 0.0), 1.5, pt(10.0, 0.0), 1.5);
         assert_eq!(paths.len(), 1, "only the direct path should survive");
     }
@@ -388,7 +389,10 @@ mod tests {
         let paths = PathTracer::new(&fp).trace(pt(0.0, 0.0), 1.5, pt(10.0, 0.0), 1.5);
         let orders: Vec<usize> = paths.iter().map(|p| p.order).collect();
         assert!(orders.contains(&0));
-        assert!(orders.iter().filter(|&&o| o == 1).count() >= 2, "{orders:?}");
+        assert!(
+            orders.iter().filter(|&&o| o == 1).count() >= 2,
+            "{orders:?}"
+        );
         assert!(orders.contains(&2), "{orders:?}");
     }
 

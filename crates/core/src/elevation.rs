@@ -103,10 +103,10 @@ mod tests {
     #[test]
     fn elevation_sign_tracks_client_height() {
         // Client below the array → negative elevation; above → positive.
-        let below = estimate_elevation(&capture_vertical(8.0, 1.0, 2.5), &MusicConfig::default())
-            .unwrap();
-        let above = estimate_elevation(&capture_vertical(8.0, 4.0, 2.5), &MusicConfig::default())
-            .unwrap();
+        let below =
+            estimate_elevation(&capture_vertical(8.0, 1.0, 2.5), &MusicConfig::default()).unwrap();
+        let above =
+            estimate_elevation(&capture_vertical(8.0, 4.0, 2.5), &MusicConfig::default()).unwrap();
         assert!(below.elevation < -2f64.to_radians(), "{}", below.elevation);
         assert!(above.elevation > 2f64.to_radians(), "{}", above.elevation);
     }
@@ -133,7 +133,10 @@ mod tests {
         let block = capture_vertical(d, hc, ha);
         let est = estimate_elevation(&block, &MusicConfig::default()).unwrap();
         let h = height_from_elevation(pt(0.0, 0.0), ha, pt(d, 0.0), est.elevation);
-        assert!((h - hc).abs() < 0.35, "height estimate {h:.2} vs truth {hc}");
+        assert!(
+            (h - hc).abs() < 0.35,
+            "height estimate {h:.2} vs truth {hc}"
+        );
     }
 
     #[test]

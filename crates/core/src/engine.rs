@@ -87,7 +87,10 @@ impl LocalizationEngine {
     /// Panics if `poses` is empty or `bins` doesn't fit the `u16` grid.
     pub fn new(poses: &[ApPose], region: SearchRegion, bins: usize) -> Self {
         assert!(!poses.is_empty(), "need at least one AP pose");
-        assert!((8..=u16::MAX as usize + 1).contains(&bins), "bins out of range");
+        assert!(
+            (8..=u16::MAX as usize + 1).contains(&bins),
+            "bins out of range"
+        );
         let (nx, ny) = region.grid_size();
         let stride = ((COARSE_BLOCK_M / region.resolution).round() as usize).clamp(1, 256);
         let bx = nx.div_ceil(stride);
@@ -180,6 +183,7 @@ impl LocalizationEngine {
     /// precomputed caches and coarse-to-fine search.
     pub fn localize(&self, observations: &[(usize, &AoaSpectrum)]) -> LocationEstimate {
         assert!(!observations.is_empty(), "need at least one AP observation");
+        let _t = at_obs::time_stage!(at_obs::stages::FUSION, "aps" => observations.len());
         let exact = self.exact_observations(observations);
         let starts = self.top_candidates_inner(observations, &exact, HILL_CLIMB_STARTS);
         let mut best = LocationEstimate {
@@ -393,8 +397,8 @@ fn circular_cover(cell_bins: &mut Vec<u16>, bins: usize) -> (u16, u16) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use at_channel::geometry::{angle_diff, pt, Point};
     use crate::synthesis::{heatmap, localize};
+    use at_channel::geometry::{angle_diff, pt, Point};
 
     /// A spectrum with a single Gaussian lobe at `theta` radians (plus the
     /// mirror image a plain ULA would produce).
@@ -408,15 +412,28 @@ mod tests {
 
     fn fixture(target: Point) -> (Vec<ApPose>, Vec<AoaSpectrum>, SearchRegion) {
         let poses = vec![
-            ApPose { center: pt(0.0, 0.0), axis_angle: 0.3 },
-            ApPose { center: pt(12.0, 0.0), axis_angle: 2.0 },
-            ApPose { center: pt(6.0, 9.0), axis_angle: 4.1 },
+            ApPose {
+                center: pt(0.0, 0.0),
+                axis_angle: 0.3,
+            },
+            ApPose {
+                center: pt(12.0, 0.0),
+                axis_angle: 2.0,
+            },
+            ApPose {
+                center: pt(6.0, 9.0),
+                axis_angle: 4.1,
+            },
         ];
         let spectra = poses
             .iter()
             .map(|p| lobe(p.bearing_to(target), 0.08))
             .collect();
-        (poses, spectra, SearchRegion::new(pt(0.0, 0.0), pt(12.0, 9.0)))
+        (
+            poses,
+            spectra,
+            SearchRegion::new(pt(0.0, 0.0), pt(12.0, 9.0)),
+        )
     }
 
     fn indexed(spectra: &[AoaSpectrum]) -> Vec<(usize, &AoaSpectrum)> {
@@ -457,8 +474,14 @@ mod tests {
         let est = engine.localize(&obs);
         let legacy = localize(
             &[
-                ApObservation { pose: poses[0], spectrum: spectra[0].clone() },
-                ApObservation { pose: poses[2], spectrum: spectra[2].clone() },
+                ApObservation {
+                    pose: poses[0],
+                    spectrum: spectra[0].clone(),
+                },
+                ApObservation {
+                    pose: poses[2],
+                    spectrum: spectra[2].clone(),
+                },
             ],
             region,
         );
@@ -473,7 +496,10 @@ mod tests {
         let obs: Vec<ApObservation> = poses
             .iter()
             .zip(&spectra)
-            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .map(|(pose, s)| ApObservation {
+                pose: *pose,
+                spectrum: s.clone(),
+            })
             .collect();
         let reference = heatmap(&obs, region).top_cells(3);
         let fast = engine.top_candidates(&indexed(&spectra), 3);
@@ -496,7 +522,10 @@ mod tests {
         let obs: Vec<ApObservation> = poses
             .iter()
             .zip(&spectra)
-            .map(|(pose, s)| ApObservation { pose: *pose, spectrum: s.clone() })
+            .map(|(pose, s)| ApObservation {
+                pose: *pose,
+                spectrum: s.clone(),
+            })
             .collect();
         let exact = heatmap(&obs, region);
         let fast = engine.heatmap(&indexed(&spectra));

@@ -67,11 +67,11 @@ mod tests {
     use crate::music::{music_spectrum, MusicConfig};
     use crate::steering::ula_steering;
     use at_channel::geometry::angle_diff;
-    use std::f64::consts::TAU;
     use at_dsp::awgn::NoiseSource;
     use at_linalg::Complex64;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::f64::consts::TAU;
 
     fn one_source_block(theta: f64, noise: f64, seed: u64) -> SnapshotBlock {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -138,16 +138,28 @@ mod tests {
         let wb = main_lobe_width(&bartlett);
         let wm = main_lobe_width(&mvdr);
         let wmu = main_lobe_width(&music);
-        assert!(wm < wb, "MVDR ({wm}) should be sharper than Bartlett ({wb})");
-        assert!(wmu <= wm, "MUSIC ({wmu}) should be at least as sharp as MVDR ({wm})");
+        assert!(
+            wm < wb,
+            "MVDR ({wm}) should be sharper than Bartlett ({wb})"
+        );
+        assert!(
+            wmu <= wm,
+            "MUSIC ({wmu}) should be at least as sharp as MVDR ({wm})"
+        );
         // At high SNR the half-power width saturates at the bin size, so
         // also rank by spectrum floor (peak-to-mean): MUSIC ≫ MVDR ≫ Bartlett.
         let p2m = |s: &AoaSpectrum| {
             let n = s.normalized();
             n.bins() as f64 / n.values().iter().sum::<f64>()
         };
-        assert!(p2m(&mvdr) > 2.0 * p2m(&bartlett), "MVDR floor should be far lower");
-        assert!(p2m(&music) > 1.5 * p2m(&mvdr), "MUSIC floor should be lower still");
+        assert!(
+            p2m(&mvdr) > 2.0 * p2m(&bartlett),
+            "MVDR floor should be far lower"
+        );
+        assert!(
+            p2m(&music) > 1.5 * p2m(&mvdr),
+            "MUSIC floor should be lower still"
+        );
     }
 
     #[test]

@@ -241,7 +241,11 @@ impl FaultPlan {
             frame,
             attempt,
         ]));
-        u < p
+        let missed = u < p;
+        if missed {
+            at_obs::count!("at_faults_injected_total", "kind" => "missed_detection");
+        }
+        missed
     }
 
     /// Deterministic per-radio calibration drift for AP `ap`, radians:
@@ -267,9 +271,7 @@ impl FaultPlan {
 fn mix(words: &[u64]) -> u64 {
     let mut z = 0x9E37_79B9_7F4A_7C15u64;
     for &w in words {
-        z = z
-            .wrapping_add(w)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = z.wrapping_add(w).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
     }
@@ -323,9 +325,7 @@ mod tests {
         }
         // Empirical rate over many draws near 0.3.
         let n = 20_000;
-        let hits = (0..n)
-            .filter(|&f| p.misses_frame(0, 1, f, 0))
-            .count();
+        let hits = (0..n).filter(|&f| p.misses_frame(0, 1, f, 0)).count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "empirical miss rate {rate}");
         // Healthy AP never misses.

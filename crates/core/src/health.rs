@@ -133,6 +133,9 @@ impl HealthTracker {
     /// Records a successful spectrum acquisition from AP `ap`.
     pub fn report_success(&mut self, ap: usize) {
         self.ensure_len(ap + 1);
+        if self.failures[ap] > 0 {
+            at_obs::count!("at_ap_recoveries_total");
+        }
         self.failures[ap] = 0;
     }
 
@@ -141,6 +144,7 @@ impl HealthTracker {
     pub fn report_failure(&mut self, ap: usize) {
         self.ensure_len(ap + 1);
         self.failures[ap] = self.failures[ap].saturating_add(1);
+        at_obs::count!("at_ap_failures_total");
     }
 
     /// Current consecutive-failure count of AP `ap`.
@@ -294,7 +298,9 @@ mod tests {
         assert!(s.contains("1 usable"));
         assert!(s.contains("2 required"));
         assert!(s.contains("3 down"));
-        assert!(LocalizeError::NoObservations.to_string().contains("at least one"));
+        assert!(LocalizeError::NoObservations
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]

@@ -61,7 +61,6 @@ pub use pipeline::{process_frame, process_frame_group, ApPipelineConfig, ArrayTr
 pub use spectrum::{AoaSpectrum, Peak};
 pub use suppression::{suppress_multipath, SuppressionConfig};
 pub use synthesis::{
-    heatmap, likelihood, localize, ApObservation, ApPose, Heatmap, LocationEstimate,
-    SearchRegion,
+    heatmap, likelihood, localize, ApObservation, ApPose, Heatmap, LocationEstimate, SearchRegion,
 };
 pub use tracking::{Tracker, TrackerConfig};

@@ -73,24 +73,33 @@ pub fn music_analysis_from_rxx(rxx: &CMatrix, cfg: &MusicConfig) -> MusicAnalysi
     // needs a reference, so the no-smoothing path is copy-free.
     let smoothed: Cow<'_, CMatrix> = if cfg.smoothing_groups <= 1 {
         Cow::Borrowed(rxx)
-    } else if cfg.forward_backward {
-        Cow::Owned(spatial_smooth_fb(rxx, cfg.smoothing_groups))
     } else {
-        Cow::Owned(spatial_smooth(rxx, cfg.smoothing_groups))
+        let _t = at_obs::time_stage!(at_obs::stages::SMOOTHING);
+        if cfg.forward_backward {
+            Cow::Owned(spatial_smooth_fb(rxx, cfg.smoothing_groups))
+        } else {
+            Cow::Owned(spatial_smooth(rxx, cfg.smoothing_groups))
+        }
     };
     let ms = smoothed.rows();
     assert!(ms >= 2, "need at least two effective antennas");
 
-    let (q, eigenvalues, d) = noise_projector(&smoothed, cfg.eigenvalue_threshold);
+    let (q, eigenvalues, d) = {
+        let _t = at_obs::time_stage!(at_obs::stages::MUSIC_EIG);
+        noise_projector(&smoothed, cfg.eigenvalue_threshold)
+    };
 
     // Pseudospectrum over [0, π], mirrored to the full circle (a plain ULA
     // cannot distinguish the sides; §2.3.4 handles that separately), using
     // the shared precomputed steering vectors.
     let table = SteeringTable::shared(ms, cfg.bins);
-    let spectrum = table.scan(|a| {
-        let qa = q.mul_vec(a);
-        1.0 / a.dot(&qa).re.max(1e-12)
-    });
+    let spectrum = {
+        let _t = at_obs::time_stage!(at_obs::stages::MUSIC_SCAN);
+        table.scan(|a| {
+            let qa = q.mul_vec(a);
+            1.0 / a.dot(&qa).re.max(1e-12)
+        })
+    };
 
     MusicAnalysis {
         spectrum,
@@ -151,7 +160,10 @@ pub fn music_analysis_positions(
     );
     let ms = rxx.rows();
     assert!(ms >= 2, "need at least two antennas");
-    let (q, eigenvalues, d) = noise_projector(rxx, cfg.eigenvalue_threshold);
+    let (q, eigenvalues, d) = {
+        let _t = at_obs::time_stage!(at_obs::stages::MUSIC_EIG);
+        noise_projector(rxx, cfg.eigenvalue_threshold)
+    };
     let bins = cfg.bins;
     let values = (0..bins)
         .map(|i| {
@@ -196,10 +208,7 @@ mod tests {
     ) -> SnapshotBlock {
         let mut rng = StdRng::seed_from_u64(seed);
         let noise = NoiseSource::with_power(noise_power);
-        let steering: Vec<CVector> = sources
-            .iter()
-            .map(|(th, _)| ula_steering(m, *th))
-            .collect();
+        let steering: Vec<CVector> = sources.iter().map(|(th, _)| ula_steering(m, *th)).collect();
         let mut streams = vec![Vec::with_capacity(k); m];
         for _t in 0..k {
             // Independent random source phases (incoherent sources).
@@ -330,25 +339,19 @@ mod tests {
             let block = synth_block(8, 10, &[(theta, 1.0)], noise_power, 21);
             let spec = music_spectrum(&block, &MusicConfig::default()).normalized();
             // Peak-to-mean ratio as a sharpness proxy.
-            let mean: f64 =
-                spec.values().iter().sum::<f64>() / spec.bins() as f64;
+            let mean: f64 = spec.values().iter().sum::<f64>() / spec.bins() as f64;
             1.0 / mean
         };
         let high_snr = sharpness(0.01); // ~20 dB
         let low_snr = sharpness(3.0); // ~ −5 dB
-        assert!(
-            high_snr > 2.0 * low_snr,
-            "high {high_snr} vs low {low_snr}"
-        );
+        assert!(high_snr > 2.0 * low_snr, "high {high_snr} vs low {low_snr}");
     }
 
     #[test]
     fn signal_count_clamped_below_effective_antennas() {
         // All-signal input (huge SNR, many sources) must still leave a
         // noise dimension.
-        let sources: Vec<(f64, f64)> = (1..8)
-            .map(|i| (i as f64 * PI / 8.0, 1.0))
-            .collect();
+        let sources: Vec<(f64, f64)> = (1..8).map(|i| (i as f64 * PI / 8.0, 1.0)).collect();
         let block = synth_block(8, 200, &sources, 1e-6, 13);
         let analysis = music_analysis(
             &block,

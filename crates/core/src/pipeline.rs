@@ -81,6 +81,7 @@ impl ApPipelineConfig {
 /// The block must hold `elements` rows (plus one off-row row if symmetry
 /// resolution is enabled).
 pub fn process_frame(block: &SnapshotBlock, cfg: &ApPipelineConfig) -> AoaSpectrum {
+    let _t = at_obs::time_stage!(at_obs::stages::SPECTRUM, "elements" => cfg.elements);
     let expected = cfg.elements + usize::from(cfg.needs_offrow());
     assert_eq!(
         block.antennas(),
@@ -331,6 +332,32 @@ impl ArrayTrackServer {
     /// With all observations healthy and fresh this is exactly
     /// [`ArrayTrackServer::localize`] (same engine, same spectra).
     pub fn try_localize(&self) -> Result<LocationEstimate, LocalizeError> {
+        let _t = at_obs::time_stage!(
+            at_obs::stages::LOCALIZE,
+            "observations" => self.observations.len(),
+        );
+        let result = self.try_localize_inner();
+        match &result {
+            Ok(_) => at_obs::count!("at_localize_total", "result" => "ok"),
+            Err(e) => {
+                at_obs::count!("at_localize_total", "result" => "error");
+                match e {
+                    LocalizeError::NoObservations => {
+                        at_obs::count!("at_localize_errors_total", "kind" => "no_observations")
+                    }
+                    LocalizeError::QuorumNotMet { .. } => {
+                        at_obs::count!("at_localize_errors_total", "kind" => "quorum_not_met")
+                    }
+                    LocalizeError::ResolutionMismatch { .. } => {
+                        at_obs::count!("at_localize_errors_total", "kind" => "resolution_mismatch")
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn try_localize_inner(&self) -> Result<LocationEstimate, LocalizeError> {
         if self.observations.is_empty() {
             return Err(LocalizeError::NoObservations);
         }
@@ -351,19 +378,30 @@ impl ArrayTrackServer {
             let meta = self.meta[i];
             if self.policy.is_stale(meta.age) {
                 stale += 1;
+                at_obs::count!("at_observations_dropped_total", "reason" => "stale");
                 continue;
             }
             if o.spectrum.max_value() == 0.0 {
                 degenerate += 1;
+                at_obs::count!("at_observations_dropped_total", "reason" => "degenerate");
                 continue;
             }
             let status = meta
                 .ap_id
                 .map_or(ApStatus::Healthy, |ap| self.health.status(ap, &self.policy));
             match status {
-                ApStatus::Down => down += 1,
-                ApStatus::Degraded => picked.push((i, self.policy.degraded_weight)),
-                ApStatus::Healthy => picked.push((i, 1.0)),
+                ApStatus::Down => {
+                    down += 1;
+                    at_obs::count!("at_observations_dropped_total", "reason" => "down");
+                }
+                ApStatus::Degraded => {
+                    at_obs::count!("at_observations_fused_total", "health" => "degraded");
+                    picked.push((i, self.policy.degraded_weight));
+                }
+                ApStatus::Healthy => {
+                    at_obs::count!("at_observations_fused_total", "health" => "healthy");
+                    picked.push((i, 1.0));
+                }
             }
         }
 
@@ -531,7 +569,13 @@ mod tests {
             let array = AntennaArray::ula(center, axis, 8).with_offrow_element();
             let block = capture(&fp, &array, &Transmitter::at(client_a), 10);
             let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
-            server.add_observation(ApPose { center, axis_angle: axis }, spec);
+            server.add_observation(
+                ApPose {
+                    center,
+                    axis_angle: axis,
+                },
+                spec,
+            );
         }
         assert!(server.localize().position.distance(client_a) < 0.25);
         // The deployment changes (new AP poses): the cached engine is
@@ -546,7 +590,13 @@ mod tests {
             let array = AntennaArray::ula(center, axis, 8).with_offrow_element();
             let block = capture(&fp, &array, &Transmitter::at(client_b), 10);
             let spec = process_frame(&block, &ApPipelineConfig::arraytrack(8));
-            server.add_observation(ApPose { center, axis_angle: axis }, spec);
+            server.add_observation(
+                ApPose {
+                    center,
+                    axis_angle: axis,
+                },
+                spec,
+            );
         }
         let est = server.localize();
         assert!(
@@ -606,7 +656,10 @@ mod tests {
     #[test]
     fn empty_server_returns_typed_error() {
         let server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(1.0, 1.0)));
-        assert_eq!(server.try_localize(), Err(crate::health::LocalizeError::NoObservations));
+        assert_eq!(
+            server.try_localize(),
+            Err(crate::health::LocalizeError::NoObservations)
+        );
     }
 
     #[test]
@@ -634,11 +687,10 @@ mod tests {
     #[test]
     fn down_aps_are_excluded_and_quorum_enforced() {
         let target = pt(5.0, 5.0);
-        let mut server =
-            synthetic_server(target).with_policy(crate::health::HealthPolicy {
-                min_quorum: 2,
-                ..Default::default()
-            });
+        let mut server = synthetic_server(target).with_policy(crate::health::HealthPolicy {
+            min_quorum: 2,
+            ..Default::default()
+        });
         // Kill APs 0 and 1 (5 consecutive failures each → Down).
         for _ in 0..5 {
             server.report_acquisition_failure(0);
@@ -675,7 +727,10 @@ mod tests {
         ];
         // All three spectra expired (age beyond the default max of 3).
         for (i, (center, axis)) in poses.into_iter().enumerate() {
-            let pose = ApPose { center, axis_angle: axis };
+            let pose = ApPose {
+                center,
+                axis_angle: axis,
+            };
             server.add_observation_from(i, pose, lobe_toward(pose, target), 10);
         }
         match server.try_localize() {
@@ -685,7 +740,10 @@ mod tests {
             other => panic!("expected QuorumNotMet, got {other:?}"),
         }
         // Refresh one: a single fresh AP meets the default quorum of 1.
-        let pose = ApPose { center: pt(0.0, 0.0), axis_angle: 0.3 };
+        let pose = ApPose {
+            center: pt(0.0, 0.0),
+            axis_angle: 0.3,
+        };
         server.add_observation_from(0, pose, lobe_toward(pose, target), 0);
         assert!(server.try_localize().is_ok());
     }
@@ -706,7 +764,10 @@ mod tests {
             (pt(6.0, 8.0), 4.5),
         ];
         for (i, (center, axis)) in poses.into_iter().enumerate() {
-            let pose = ApPose { center, axis_angle: axis };
+            let pose = ApPose {
+                center,
+                axis_angle: axis,
+            };
             let spec = if i == 2 {
                 lobe_toward(pose, pt(1.0, 1.0)) // wrong target
             } else {

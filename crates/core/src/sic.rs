@@ -93,10 +93,7 @@ pub fn process_collision(
     // Genuine preambles correlate near 1 while data-body artifacts sit far
     // lower; keep only detections within 2× of the strongest so artifacts
     // don't masquerade as a second packet.
-    let strongest = detections
-        .iter()
-        .map(|d| d.metric)
-        .fold(0.0f64, f64::max);
+    let strongest = detections.iter().map(|d| d.metric).fold(0.0f64, f64::max);
     detections.retain(|d| d.metric >= 0.5 * strongest);
     if detections.len() < 2 {
         return Err(SicError::NotEnoughDetections(detections.len()));
@@ -164,9 +161,7 @@ mod tests {
         let p = preamble_collision_probability(airtime, PREAMBLE_S);
         assert!((p - 0.006).abs() < 1e-9, "p = {p}");
         // Longer frames make preamble collisions rarer.
-        assert!(
-            preamble_collision_probability(airtime * 2.0, PREAMBLE_S) < p
-        );
+        assert!(preamble_collision_probability(airtime * 2.0, PREAMBLE_S) < p);
     }
 
     #[test]
@@ -177,8 +172,8 @@ mod tests {
     #[test]
     fn not_enough_detections_error() {
         let streams = vec![vec![Complex64::ZERO; 4000]];
-        let err = process_collision(&streams, at_dsp::SAMPLE_RATE_HZ, &SicConfig::default())
-            .unwrap_err();
+        let err =
+            process_collision(&streams, at_dsp::SAMPLE_RATE_HZ, &SicConfig::default()).unwrap_err();
         assert_eq!(err, SicError::NotEnoughDetections(0));
     }
 

@@ -30,7 +30,10 @@ impl AoaSpectrum {
     /// # Panics
     /// Panics if fewer than 8 bins or any value is not finite/non-negative.
     pub fn from_values(values: Vec<f64>) -> Self {
-        assert!(values.len() >= 8, "a spectrum needs a reasonable resolution");
+        assert!(
+            values.len() >= 8,
+            "a spectrum needs a reasonable resolution"
+        );
         assert!(
             values.iter().all(|v| v.is_finite() && *v >= 0.0),
             "spectrum values must be finite and non-negative"
@@ -40,11 +43,7 @@ impl AoaSpectrum {
 
     /// Builds a spectrum by evaluating `f(θ)` at `bins` uniform bearings.
     pub fn from_fn(bins: usize, mut f: impl FnMut(f64) -> f64) -> Self {
-        Self::from_values(
-            (0..bins)
-                .map(|i| f(i as f64 * TAU / bins as f64))
-                .collect(),
-        )
+        Self::from_values((0..bins).map(|i| f(i as f64 * TAU / bins as f64)).collect())
     }
 
     /// Number of angular bins.

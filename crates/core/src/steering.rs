@@ -26,9 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Steering vector for an `elements`-antenna λ/2 ULA at bearing `theta`
 /// (radians from the array axis).
 pub fn ula_steering(elements: usize, theta: f64) -> CVector {
-    CVector::from_fn(elements, |m| {
-        Complex64::cis(m as f64 * PI * theta.cos())
-    })
+    CVector::from_fn(elements, |m| Complex64::cis(m as f64 * PI * theta.cos()))
 }
 
 /// Precomputed steering vectors for an `elements`-antenna λ/2 ULA over a
@@ -147,7 +145,10 @@ pub fn array_frame_positions(elements: usize, offrow: bool) -> Vec<Point> {
 /// λ/2 neighbor chords (matching `at_channel::AntennaArray::uca`): element
 /// `m` sits at angle `2πm/M` on a circle of radius `s/(2·sin(π/M))`.
 pub fn circular_frame_positions(elements: usize) -> Vec<Point> {
-    assert!(elements >= 3, "a circular array needs at least three elements");
+    assert!(
+        elements >= 3,
+        "a circular array needs at least three elements"
+    );
     let r = half_wavelength() / (2.0 * (PI / elements as f64).sin());
     (0..elements)
         .map(|m| {

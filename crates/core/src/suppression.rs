@@ -83,6 +83,7 @@ impl Default for SuppressionConfig {
 /// returned unchanged (Fig. 8 step 1's fall-through).
 pub fn suppress_multipath(spectra: &[AoaSpectrum], cfg: &SuppressionConfig) -> AoaSpectrum {
     assert!(!spectra.is_empty(), "need at least one spectrum");
+    let _t = at_obs::time_stage!(at_obs::stages::SUPPRESSION, "frames" => spectra.len());
     let mut primary = spectra[0].clone();
     if spectra.len() < 2 {
         return primary;
@@ -176,9 +177,9 @@ pub fn classify_stability(
         .collect();
     // "Reflections unchanged" requires every reflection peak to survive;
     // if there are none, the comparison is vacuously unchanged.
-    let reflections_unchanged = reflections.iter().all(|p| {
-        after.has_peak_near(p.theta, cfg.match_tolerance, cfg.peak_threshold)
-    });
+    let reflections_unchanged = reflections
+        .iter()
+        .all(|p| after.has_peak_near(p.theta, cfg.match_tolerance, cfg.peak_threshold));
     Some(StabilityOutcome {
         direct_unchanged,
         reflections_unchanged,
@@ -217,7 +218,10 @@ mod tests {
         let a = lobes(&[(60.0, 1.0), (140.0, 0.8)]);
         let b = lobes(&[(60.5, 1.0), (120.0, 0.8)]);
         let out = suppress_multipath(&[a, b], &SuppressionConfig::default());
-        assert!(out.has_peak_near(60f64.to_radians(), 0.05, 0.2), "direct kept");
+        assert!(
+            out.has_peak_near(60f64.to_radians(), 0.05, 0.2),
+            "direct kept"
+        );
         assert!(
             !out.has_peak_near(140f64.to_radians(), 0.05, 0.2),
             "moved reflection attenuated below threshold"

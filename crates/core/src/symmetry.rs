@@ -96,11 +96,7 @@ pub fn dominant_side(block: &SnapshotBlock, elements: usize) -> Side {
 /// In strong multipath a reflection on the ghost side can win the whole
 /// -side vote and erase the true direct path; prefer
 /// [`resolve_mirror_peaks`] (the pipeline default) which decides per peak.
-pub fn remove_symmetry(
-    spectrum: &mut AoaSpectrum,
-    block: &SnapshotBlock,
-    elements: usize,
-) -> Side {
+pub fn remove_symmetry(spectrum: &mut AoaSpectrum, block: &SnapshotBlock, elements: usize) -> Side {
     let side = dominant_side(block, elements);
     let keep_upper = side == Side::Upper;
     let n = spectrum.bins();
@@ -251,8 +247,14 @@ mod tests {
         assert!(spec.has_peak_near(ghost, 0.05, 0.3), "mirror peak expected");
         let side = remove_symmetry(&mut spec, &block, 8);
         assert_eq!(side, Side::Lower);
-        assert!(!spec.has_peak_near(ghost, 0.05, 0.3), "ghost must be removed");
-        assert!(spec.has_peak_near(theta, 0.05, 0.3), "true peak must survive");
+        assert!(
+            !spec.has_peak_near(ghost, 0.05, 0.3),
+            "ghost must be removed"
+        );
+        assert!(
+            spec.has_peak_near(theta, 0.05, 0.3),
+            "true peak must survive"
+        );
     }
 
     #[test]

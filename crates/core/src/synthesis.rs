@@ -279,7 +279,10 @@ mod tests {
 
     /// An observation whose spectrum points exactly at `target`.
     fn observing(center: Point, axis: f64, target: Point) -> ApObservation {
-        let pose = ApPose { center, axis_angle: axis };
+        let pose = ApPose {
+            center,
+            axis_angle: axis,
+        };
         let theta = pose.bearing_to(target);
         ApObservation {
             pose,
@@ -385,7 +388,10 @@ mod tests {
             *v = 0.0; // fully zeroed spectrum (e.g. aggressive removal)
         }
         // from_values forbids zeros? No: zeros are allowed, peaks aren't.
-        let obs = vec![ApObservation { pose, spectrum: spec }];
+        let obs = vec![ApObservation {
+            pose,
+            spectrum: spec,
+        }];
         let l = likelihood(&normalize_observations(&obs), pt(1.0, 1.0));
         assert!(l > 0.0);
     }

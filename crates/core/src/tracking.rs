@@ -325,7 +325,10 @@ mod tests {
         let mut t = Tracker::new(TrackerConfig::default());
         let mut rng = StdRng::seed_from_u64(4);
         for i in 0..5000 {
-            let truth = pt((i as f64 * 0.01).sin() * 5.0, (i as f64 * 0.007).cos() * 5.0);
+            let truth = pt(
+                (i as f64 * 0.01).sin() * 5.0,
+                (i as f64 * 0.007).cos() * 5.0,
+            );
             let est = t.update(noisy(truth, 0.3, &mut rng), 0.1);
             assert!(est.x.is_finite() && est.y.is_finite(), "step {i}");
         }

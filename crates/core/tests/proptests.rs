@@ -1,13 +1,15 @@
 //! Property-based tests for ArrayTrack's core algorithms.
 
+use at_channel::geometry::{angle_diff, pt};
 use at_core::music::{music_analysis_from_rxx, MusicConfig};
 use at_core::smoothing::{spatial_smooth, spatial_smooth_fb};
 use at_core::spectrum::AoaSpectrum;
 use at_core::steering::ula_steering;
 use at_core::suppression::{suppress_multipath, SuppressionConfig};
-use at_core::synthesis::{heatmap, likelihood, normalize_observations, ApObservation, ApPose, SearchRegion};
+use at_core::synthesis::{
+    heatmap, likelihood, normalize_observations, ApObservation, ApPose, SearchRegion,
+};
 use at_core::weighting::{confidence_weighted, geometry_weight};
-use at_channel::geometry::{angle_diff, pt};
 use at_linalg::{eigh, CMatrix, CVector, Complex64};
 use proptest::prelude::*;
 use std::f64::consts::TAU;

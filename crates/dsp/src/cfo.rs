@@ -36,11 +36,7 @@ pub fn max_cfo_hz() -> f64 {
 ///
 /// Returns `None` if the blocks are empty, mismatched in length, or carry
 /// no energy. The estimate is unambiguous for `|Δf| < 1/(2·separation)`.
-pub fn estimate_cfo(
-    first: &[Complex64],
-    second: &[Complex64],
-    separation_s: f64,
-) -> Option<f64> {
+pub fn estimate_cfo(first: &[Complex64], second: &[Complex64], separation_s: f64) -> Option<f64> {
     if first.is_empty() || first.len() != second.len() || separation_s <= 0.0 {
         return None;
     }

@@ -51,11 +51,7 @@ impl SnapshotBlock {
         let k = k.min(self.snapshots());
         assert!(k > 0, "cannot truncate to zero snapshots");
         SnapshotBlock {
-            per_antenna: self
-                .per_antenna
-                .iter()
-                .map(|s| s[..k].to_vec())
-                .collect(),
+            per_antenna: self.per_antenna.iter().map(|s| s[..k].to_vec()).collect(),
         }
     }
 
@@ -98,7 +94,7 @@ mod tests {
 
     #[test]
     fn single_snapshot_gives_rank_one_matrix() {
-        let x = vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 0.0)];
+        let x = [c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 0.0)];
         let block = SnapshotBlock::new(x.iter().map(|z| vec![*z]).collect());
         let r = block.correlation_matrix();
         assert!(r.is_hermitian(1e-14));
@@ -164,7 +160,9 @@ mod tests {
     fn correlation_is_psd() {
         let block = SnapshotBlock::new(vec![
             (0..5).map(|t| Complex64::cis(1.1 * t as f64)).collect(),
-            (0..5).map(|t| Complex64::cis(-0.4 * t as f64 + 1.0)).collect(),
+            (0..5)
+                .map(|t| Complex64::cis(-0.4 * t as f64 + 1.0))
+                .collect(),
             (0..5).map(|t| c64(t as f64, -(t as f64))).collect(),
         ]);
         let e = eigh(&block.correlation_matrix()).unwrap();

@@ -82,6 +82,7 @@ impl SchmidlCox {
     /// Returns the first detection, if any: the first index where the
     /// metric crosses the threshold and stays there for half a period.
     pub fn detect(&self, rx: &[Complex64]) -> Option<Detection> {
+        let _t = at_obs::time_stage!(at_obs::stages::DETECT, "detector" => "schmidl_cox");
         let m = self.metric(rx);
         let hold = self.period / 2;
         let mut run = 0usize;
@@ -90,6 +91,7 @@ impl SchmidlCox {
                 run += 1;
                 if run >= hold {
                     let start = d + 1 - run;
+                    at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "hit");
                     return Some(Detection {
                         start,
                         metric: m[start..=d].iter().cloned().fold(0.0, f64::max),
@@ -99,6 +101,7 @@ impl SchmidlCox {
                 run = 0;
             }
         }
+        at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "miss");
         None
     }
 }
@@ -190,7 +193,10 @@ impl MatchedFilter {
                     && (d == 0 || corr[d - 1] <= v)
                     && (d + 1 == corr.len() || v >= corr[d + 1])
             })
-            .map(|(d, &v)| Detection { start: d, metric: v })
+            .map(|(d, &v)| Detection {
+                start: d,
+                metric: v,
+            })
             .collect();
         // Non-maximum suppression within a full preamble length: the
         // periodic short training symbols produce strong correlation
@@ -200,10 +206,7 @@ impl MatchedFilter {
         let min_sep = self.reference.len();
         let mut kept: Vec<Detection> = Vec::new();
         for p in peaks {
-            if kept
-                .iter()
-                .all(|k| p.start.abs_diff(k.start) >= min_sep)
-            {
+            if kept.iter().all(|k| p.start.abs_diff(k.start) >= min_sep) {
                 kept.push(p);
             }
         }
@@ -215,9 +218,20 @@ impl MatchedFilter {
     /// wrong at high SNR, where pre-peak correlation sidelobes also clear
     /// the threshold.)
     pub fn detect(&self, rx: &[Complex64]) -> Option<Detection> {
-        self.detect_all(rx)
+        let _t = at_obs::time_stage!(at_obs::stages::DETECT, "detector" => "matched_filter");
+        let det = self
+            .detect_all(rx)
             .into_iter()
-            .max_by(|a, b| a.metric.partial_cmp(&b.metric).expect("finite metrics"))
+            .max_by(|a, b| a.metric.partial_cmp(&b.metric).expect("finite metrics"));
+        match det {
+            Some(_) => {
+                at_obs::count!("at_detections_total", "detector" => "matched_filter", "result" => "hit")
+            }
+            None => {
+                at_obs::count!("at_detections_total", "detector" => "matched_filter", "result" => "miss")
+            }
+        }
+        det
     }
 
     /// Reference length in samples.
@@ -245,10 +259,16 @@ mod tests {
     #[test]
     fn schmidl_cox_finds_clean_preamble() {
         let rx = embedded_preamble(200, 200);
-        let det = SchmidlCox::new(SAMPLE_RATE_HZ).detect(&rx).expect("detection");
+        let det = SchmidlCox::new(SAMPLE_RATE_HZ)
+            .detect(&rx)
+            .expect("detection");
         // Plateau detection has inherent ambiguity of up to a couple of
         // symbol periods; require it lands inside the short section.
-        assert!(det.start >= 150 && det.start <= 200 + 320, "start {}", det.start);
+        assert!(
+            det.start >= 150 && det.start <= 200 + 320,
+            "start {}",
+            det.start
+        );
         assert!(det.metric > 0.9);
     }
 
@@ -266,7 +286,9 @@ mod tests {
         let mut rx = embedded_preamble(173, 300);
         NoiseSource::for_snr_db(15.0).corrupt(&mut rx, &mut rng);
         let p = Preamble::new();
-        let det = MatchedFilter::new(&p, SAMPLE_RATE_HZ).detect(&rx).expect("detection");
+        let det = MatchedFilter::new(&p, SAMPLE_RATE_HZ)
+            .detect(&rx)
+            .expect("detection");
         assert_eq!(det.start, 173);
     }
 
@@ -290,7 +312,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits >= trials * 8 / 10, "only {hits}/{trials} detections at -10 dB");
+        assert!(
+            hits >= trials * 8 / 10,
+            "only {hits}/{trials} detections at -10 dB"
+        );
     }
 
     #[test]

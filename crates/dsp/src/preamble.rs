@@ -65,11 +65,10 @@ const SHORT_CARRIERS: [(i32, Complex64); 12] = [
 /// (DC is unused), per 802.11-2012 §18.3.3.
 const LONG_SEQUENCE: [f64; 52] = [
     // k = -26 .. -1
-    1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0,
-    1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0,
-    // k = +1 .. +26
-    1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
-    -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0,
+    1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0,
+    1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // k = +1 .. +26
+    1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, -1.0,
+    -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0,
 ];
 
 /// A continuously-evaluable 802.11 OFDM preamble waveform.
@@ -153,9 +152,7 @@ impl Preamble {
     /// Samples `[t0, t0 + duration)` at `rate` Hz.
     pub fn sample_span(&self, t0: f64, duration: f64, rate: f64) -> Vec<Complex64> {
         let n = (duration * rate).round() as usize;
-        (0..n)
-            .map(|i| self.eval(t0 + i as f64 / rate))
-            .collect()
+        (0..n).map(|i| self.eval(t0 + i as f64 / rate)).collect()
     }
 
     /// The full preamble sampled at `rate` Hz; the packet detectors'
@@ -306,7 +303,10 @@ mod tests {
             let dt = i as f64 * 0.1e-6;
             let gi = p.eval(SHORT_SECTION_S + dt);
             let tail = p.eval(LTS0_START_S + LONG_SYMBOL_S - LONG_GI_S + dt);
-            assert!((gi - tail).abs() < 1e-9, "GI is not a cyclic prefix at {dt}");
+            assert!(
+                (gi - tail).abs() < 1e-9,
+                "GI is not a cyclic prefix at {dt}"
+            );
         }
     }
 
@@ -315,8 +315,16 @@ mod tests {
         let p = Preamble::new();
         let short = p.sample_span(0.0, SHORT_SECTION_S, SAMPLE_RATE_HZ);
         let long = p.sample_span(LTS0_START_S, 2.0 * LONG_SYMBOL_S, SAMPLE_RATE_HZ);
-        assert!((mean_power(&short) - 1.0).abs() < 1e-6, "short power {}", mean_power(&short));
-        assert!((mean_power(&long) - 1.0).abs() < 1e-6, "long power {}", mean_power(&long));
+        assert!(
+            (mean_power(&short) - 1.0).abs() < 1e-6,
+            "short power {}",
+            mean_power(&short)
+        );
+        assert!(
+            (mean_power(&long) - 1.0).abs() < 1e-6,
+            "long power {}",
+            mean_power(&long)
+        );
     }
 
     #[test]
@@ -380,7 +388,10 @@ mod tests {
             let neg = spec[(64 + (-k)) as usize];
             assert!(pos.abs() > 1.0, "missing +{k} tone");
             assert!(neg.abs() > 1.0, "missing -{k} tone");
-            assert!(pos.im.abs() < 1e-6 * pos.abs() + 1e-9, "tone +{k} not BPSK-real");
+            assert!(
+                pos.im.abs() < 1e-6 * pos.abs() + 1e-9,
+                "tone +{k} not BPSK-real"
+            );
         }
         assert!(spec[0].abs() < 1e-9, "DC should be empty");
     }

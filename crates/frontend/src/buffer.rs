@@ -47,8 +47,10 @@ impl FrameBuffer {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.evicted += 1;
+            at_obs::count!("at_frame_buffer_evictions_total");
         }
         self.entries.push_back(entry);
+        at_obs::count!("at_frame_buffer_pushes_total");
     }
 
     /// Number of buffered frames.

@@ -174,12 +174,7 @@ impl Calibration {
             "need one drift term per radio"
         );
         Calibration {
-            offsets: self
-                .offsets
-                .iter()
-                .zip(drift)
-                .map(|(o, d)| o + d)
-                .collect(),
+            offsets: self.offsets.iter().zip(drift).map(|(o, d)| o + d).collect(),
             external_mismatch: self.external_mismatch.clone(),
         }
     }

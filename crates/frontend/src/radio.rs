@@ -70,12 +70,7 @@ impl FrontEnd {
     ///
     /// # Panics
     /// Panics if there are more streams than radios or the span overruns.
-    pub fn capture(
-        &self,
-        streams: &[Vec<Complex64>],
-        start: usize,
-        k: usize,
-    ) -> SnapshotBlock {
+    pub fn capture(&self, streams: &[Vec<Complex64>], start: usize, k: usize) -> SnapshotBlock {
         assert!(
             streams.len() <= self.radios(),
             "{} antennas but only {} radios",
@@ -256,9 +251,8 @@ mod tests {
             .map(|m| {
                 (0..512)
                     .map(|i| {
-                        Complex64::cis(
-                            std::f64::consts::TAU * (i % period) as f64 / period as f64,
-                        ) * Complex64::cis(m as f64 * 0.3)
+                        Complex64::cis(std::f64::consts::TAU * (i % period) as f64 / period as f64)
+                            * Complex64::cis(m as f64 * 0.3)
                     })
                     .collect()
             })
@@ -319,10 +313,6 @@ mod tests {
     #[should_panic(expected = "only 1 radios")]
     fn too_many_antennas_panics() {
         let fe = FrontEnd::perfect(1);
-        fe.capture(
-            &[vec![Complex64::ONE; 8], vec![Complex64::ONE; 8]],
-            0,
-            4,
-        );
+        fe.capture(&[vec![Complex64::ONE; 8], vec![Complex64::ONE; 8]], 0, 4);
     }
 }

@@ -152,11 +152,7 @@ impl CMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Sum of off-diagonal squared magnitudes; the Jacobi sweep's
@@ -199,7 +195,10 @@ impl CMatrix {
     /// Extracts the contiguous square submatrix with corner `(r0, c0)` and
     /// size `n` — used by spatial smoothing's subarray averaging.
     pub fn submatrix(&self, r0: usize, c0: usize, n: usize) -> CMatrix {
-        assert!(r0 + n <= self.rows && c0 + n <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + n <= self.rows && c0 + n <= self.cols,
+            "submatrix out of range"
+        );
         CMatrix::from_fn(n, n, |r, c| self[(r0 + r, c0 + c)])
     }
 }
@@ -224,7 +223,11 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -241,7 +244,11 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -309,7 +316,12 @@ mod tests {
         let b = CMatrix::from_rows(
             2,
             2,
-            vec![Complex64::ONE, Complex64::ZERO, Complex64::J, Complex64::ONE],
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::J,
+                Complex64::ONE,
+            ],
         );
         let p = &a * &b;
         assert_eq!(p[(0, 0)], c64(0.0, 0.0));

@@ -117,6 +117,36 @@ pub fn acquire_spectrum<R: Rng>(
     acq: &AcquireConfig,
     rng: &mut R,
 ) -> Result<Acquisition, AcquireError> {
+    let _t = at_obs::time_stage!(
+        at_obs::stages::ACQUIRE,
+        "ap" => ap_idx,
+        "client" => client_idx,
+    );
+    let result = acquire_spectrum_inner(dep, ap_idx, client_idx, cfg, plan, acq, rng);
+    match &result {
+        Ok(_) => at_obs::count!("at_acquisitions_total", "result" => "ok"),
+        Err(AcquireError::ApDown { .. }) => {
+            at_obs::count!("at_acquisitions_total", "result" => "ap_down")
+        }
+        Err(AcquireError::NoSignal { .. }) => {
+            at_obs::count!("at_acquisitions_total", "result" => "no_signal")
+        }
+        Err(AcquireError::Timeout { .. }) => {
+            at_obs::count!("at_acquisitions_total", "result" => "timeout")
+        }
+    }
+    result
+}
+
+fn acquire_spectrum_inner<R: Rng>(
+    dep: &Deployment,
+    ap_idx: usize,
+    client_idx: usize,
+    cfg: &ExperimentConfig,
+    plan: &FaultPlan,
+    acq: &AcquireConfig,
+    rng: &mut R,
+) -> Result<Acquisition, AcquireError> {
     let profile = plan.ap(ap_idx);
     if profile.outage {
         return Err(AcquireError::ApDown { ap: ap_idx });
@@ -209,12 +239,9 @@ pub fn localize_under_faults<R: Rng>(
     let mut server = ArrayTrackServer::new(dep.search_region()).with_policy(*policy);
     for ap_idx in 0..dep.aps.len() {
         match acquire_spectrum(dep, ap_idx, client_idx, cfg, plan, acq, rng) {
-            Ok(acqn) => server.add_observation_from(
-                ap_idx,
-                dep.aps[ap_idx].pose,
-                acqn.spectrum,
-                acqn.age,
-            ),
+            Ok(acqn) => {
+                server.add_observation_from(ap_idx, dep.aps[ap_idx].pose, acqn.spectrum, acqn.age)
+            }
             Err(_) => server.report_acquisition_failure(ap_idx),
         }
     }
@@ -281,13 +308,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let err = acquire_spectrum(&dep, 0, 0, &cfg, &plan, &AcquireConfig::default(), &mut rng)
             .unwrap_err();
-        assert_eq!(
-            err,
-            AcquireError::Timeout {
-                ap: 0,
-                attempts: 3
-            }
-        );
+        assert_eq!(err, AcquireError::Timeout { ap: 0, attempts: 3 });
     }
 
     #[test]
@@ -329,8 +350,8 @@ mod tests {
     fn localize_under_full_outage_is_typed_error() {
         let dep = Deployment::free_space(47);
         let cfg = fast_cfg(47);
-        let plan = FaultPlan::healthy(dep.aps.len())
-            .with_outages(&(0..dep.aps.len()).collect::<Vec<_>>());
+        let plan =
+            FaultPlan::healthy(dep.aps.len()).with_outages(&(0..dep.aps.len()).collect::<Vec<_>>());
         let mut rng = StdRng::seed_from_u64(6);
         let err = localize_under_faults(
             &dep,

@@ -144,11 +144,7 @@ impl FingerprintDb {
                     continue;
                 }
                 positions.push(p);
-                fingerprints.push(
-                    (0..dep.aps.len())
-                        .map(|i| dep.rss_db(i, p, cfg))
-                        .collect(),
-                );
+                fingerprints.push((0..dep.aps.len()).map(|i| dep.rss_db(i, p, cfg)).collect());
             }
         }
         Self {
@@ -208,8 +204,7 @@ pub fn measure_rss<R: Rng>(
             let clean = dep.rss_db(i, position, cfg);
             let u1: f64 = 1.0 - rng.gen::<f64>();
             let u2: f64 = rng.gen();
-            let gauss =
-                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             (clean + gauss * sigma_db).round()
         })
         .collect()

@@ -207,6 +207,7 @@ impl Deployment {
         cfg: &CaptureConfig,
         rng: &mut R,
     ) -> SnapshotBlock {
+        let _t = at_obs::time_stage!(at_obs::stages::CAPTURE, "ap" => ap_idx);
         let ap = &self.aps[ap_idx];
         let sim = ChannelSim::new(&self.floorplan);
         let preamble = Preamble::new();
@@ -278,8 +279,8 @@ impl Deployment {
                 .collect();
             let mut port_b = vec![None; radios];
             port_b[0] = Some(cfg.elements); // off-row antenna on radio 0 port B
-            // Fine CFO estimate from antenna 0's two LTS copies, exactly
-            // as a real receiver would, then de-rotate the S1 captures.
+                                            // Fine CFO estimate from antenna 0's two LTS copies, exactly
+                                            // as a real receiver would, then de-rotate the S1 captures.
             let cfo = if cfg.cfo_correction {
                 let delta = ap.frontend.switch_samples();
                 let w = 32.min(lts1_offset - delta);
@@ -418,8 +419,9 @@ mod tests {
         let spec = music_spectrum(&block, &MusicConfig::default());
         let truth = d.aps[0].pose.bearing_to(client);
         let best = strongest_bearing(&spec).unwrap();
-        let err = at_channel::geometry::angle_diff(best, truth)
-            .min(at_channel::geometry::angle_diff(best, std::f64::consts::TAU - truth));
+        let err = at_channel::geometry::angle_diff(best, truth).min(
+            at_channel::geometry::angle_diff(best, std::f64::consts::TAU - truth),
+        );
         assert!(err < 2f64.to_radians(), "16-antenna bearing error {err}");
     }
 
@@ -480,13 +482,11 @@ mod tests {
         let cfg = CaptureConfig::default();
         let mut rng = StdRng::seed_from_u64(17);
         let tx = Transmitter::at(pt(10.0, 10.0));
-        let blocks =
-            d.capture_frame_group(0, pt(10.0, 10.0), &tx, &cfg, 3, 0.05, &mut rng);
+        let blocks = d.capture_frame_group(0, pt(10.0, 10.0), &tx, &cfg, 3, 0.05, &mut rng);
         assert_eq!(blocks.len(), 3);
         // Jittered frames differ from the first.
-        let differs = (0..blocks[0].antennas()).any(|m| {
-            blocks[0].stream(m)[0] != blocks[1].stream(m)[0]
-        });
+        let differs =
+            (0..blocks[0].antennas()).any(|m| blocks[0].stream(m)[0] != blocks[1].stream(m)[0]);
         assert!(differs);
     }
 
@@ -504,7 +504,11 @@ mod tests {
     fn parallel_map_matches_serial() {
         let items: Vec<u64> = (0..100).collect();
         let par = parallel_map(&items, 8, |i, x| i as u64 + x * 2);
-        let ser: Vec<u64> = items.iter().enumerate().map(|(i, x)| i as u64 + x * 2).collect();
+        let ser: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 + x * 2)
+            .collect();
         assert_eq!(par, ser);
     }
 }

@@ -113,11 +113,11 @@ pub fn office_floorplan() -> Floorplan {
 pub fn ap_poses() -> [(Point, f64); 6] {
     use std::f64::consts::FRAC_PI_2;
     [
-        (pt(6.0, 23.0), 0.55),            // 1: top-left, tilted off the wall
-        (pt(30.0, 23.0), -0.45),          // 2: top-center-right
+        (pt(6.0, 23.0), 0.55),             // 1: top-left, tilted off the wall
+        (pt(30.0, 23.0), -0.45),           // 2: top-center-right
         (pt(47.0, 16.0), FRAC_PI_2 + 0.6), // 3: right wall
-        (pt(40.0, 1.0), 0.35),            // 4: bottom-right
-        (pt(14.0, 1.0), -0.5),            // 5: bottom-left
+        (pt(40.0, 1.0), 0.35),             // 4: bottom-right
+        (pt(14.0, 1.0), -0.5),             // 5: bottom-left
         (pt(1.0, 12.0), FRAC_PI_2 - 0.65), // 6: left wall
     ]
 }

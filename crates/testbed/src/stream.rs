@@ -103,7 +103,10 @@ pub struct StreamReport {
 impl StreamReport {
     /// Fixes for one client.
     pub fn fixes_for(&self, client_id: u64) -> Vec<&FixEvent> {
-        self.fixes.iter().filter(|f| f.client_id == client_id).collect()
+        self.fixes
+            .iter()
+            .filter(|f| f.client_id == client_id)
+            .collect()
     }
 
     /// Mean raw error over all fixes.
@@ -124,11 +127,7 @@ impl StreamReport {
 }
 
 /// Runs the live loop over a deployment.
-pub fn run_stream(
-    dep: &Deployment,
-    clients: &[StreamClient],
-    cfg: &StreamConfig,
-) -> StreamReport {
+pub fn run_stream(dep: &Deployment, clients: &[StreamClient], cfg: &StreamConfig) -> StreamReport {
     assert!(!clients.is_empty(), "need at least one client");
     assert!(cfg.refresh > 0.0 && cfg.duration > 0.0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);

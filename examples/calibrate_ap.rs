@@ -39,14 +39,16 @@ fn main() {
     );
     let raw = frontend.capture(&streams, 2, 10);
 
-    let bearing =
-        |block: &SnapshotBlock| -> f64 {
-            strongest_bearing(&music_spectrum(block, &MusicConfig::default()))
-                .expect("spectrum has a peak")
-                .to_degrees()
-        };
+    let bearing = |block: &SnapshotBlock| -> f64 {
+        strongest_bearing(&music_spectrum(block, &MusicConfig::default()))
+            .expect("spectrum has a peak")
+            .to_degrees()
+    };
     let uncal = bearing(&raw);
-    println!("true bearing:            {truth_deg:.1}° (mirror {:.1}°)", 360.0 - truth_deg);
+    println!(
+        "true bearing:            {truth_deg:.1}° (mirror {:.1}°)",
+        360.0 - truth_deg
+    );
     println!("uncalibrated MUSIC peak: {uncal:.1}°  <- oscillator offsets corrupt AoA");
 
     // One-time calibration: CW tone through imperfect splitter cables,
@@ -67,9 +69,10 @@ fn main() {
     let cal = bearing(&fixed);
     println!("calibrated MUSIC peak:   {cal:.1}°");
 
-    let err = (cal - truth_deg)
-        .abs()
-        .min((360.0 - cal - truth_deg).abs());
-    assert!(err < 3.0, "calibrated bearing should match truth, got {cal:.1}°");
+    let err = (cal - truth_deg).abs().min((360.0 - cal - truth_deg).abs());
+    assert!(
+        err < 3.0,
+        "calibrated bearing should match truth, got {cal:.1}°"
+    );
     println!("calibration recovered the bearing to within {err:.1}°");
 }

@@ -25,7 +25,10 @@ fn main() {
     let theta_b = 120f64.to_radians();
     let client_a = array.point_at(theta_a, 8.0);
     let client_b = array.point_at(theta_b, 11.0);
-    println!("client A at bearing {:.0}°, client B at bearing {:.0}°", 55.0, 120.0);
+    println!(
+        "client A at bearing {:.0}°, client B at bearing {:.0}°",
+        55.0, 120.0
+    );
 
     // Client B starts mid-way through client A's body: a collision, but
     // the preambles don't overlap.
@@ -87,7 +90,13 @@ fn main() {
             || spec.has_peak_near(std::f64::consts::TAU - theta, 0.1, 0.3)
     };
     assert!(near(&result.first, theta_a), "frame 1 should contain A");
-    assert!(near(&result.second, theta_b), "frame 2 should contain B after SIC");
-    assert!(!near(&result.second, theta_a), "A should be cancelled from frame 2");
+    assert!(
+        near(&result.second, theta_b),
+        "frame 2 should contain B after SIC"
+    );
+    assert!(
+        !near(&result.second, theta_a),
+        "A should be cancelled from frame 2"
+    );
     println!("SIC succeeded: both clients' bearings recovered from one collision");
 }

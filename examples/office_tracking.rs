@@ -52,8 +52,7 @@ fn main() {
         // runs the full pipeline, and reports a suppressed spectrum.
         let observations: Vec<ApObservation> = (0..dep.aps.len())
             .map(|ap| {
-                let blocks =
-                    dep.capture_frame_group(ap, target, &tx, &cfg, 3, 0.05, &mut rng);
+                let blocks = dep.capture_frame_group(ap, target, &tx, &cfg, 3, 0.05, &mut rng);
                 ApObservation {
                     pose: dep.aps[ap].pose,
                     spectrum: process_frame_group(

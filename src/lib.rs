@@ -17,7 +17,10 @@
 //!   resolution, multipath suppression, likelihood synthesis, SIC,
 //!   tracking;
 //! - [`testbed`] — the simulated 41-client / 6-AP office, experiment
-//!   sweeps, metrics, baselines and the live streaming loop.
+//!   sweeps, metrics, baselines and the live streaming loop;
+//! - [`obs`] — structured tracing spans and the lock-free metrics
+//!   registry every pipeline stage reports into (see DESIGN.md
+//!   §Observability).
 //!
 //! ## Minimal example
 //!
@@ -63,4 +66,5 @@ pub use at_core as core;
 pub use at_dsp as dsp;
 pub use at_frontend as frontend;
 pub use at_linalg as linalg;
+pub use at_obs as obs;
 pub use at_testbed as testbed;

@@ -41,7 +41,10 @@ fn cfo_does_not_disturb_inrow_music() {
     let b1 = bearing(big_cfo(), 5);
     let fold = |b: f64| angle_diff(b, truth).min(angle_diff(b, std::f64::consts::TAU - truth));
     assert!(fold(b0) < 2f64.to_radians());
-    assert!(fold(b1) < 2f64.to_radians(), "CFO shifted in-row MUSIC: {b1}");
+    assert!(
+        fold(b1) < 2f64.to_radians(),
+        "CFO shifted in-row MUSIC: {b1}"
+    );
 }
 
 #[test]
@@ -52,9 +55,7 @@ fn cfo_rotates_the_offrow_set_and_correction_removes_it() {
     let dep = Deployment::free_space(2);
     let client = pt(20.0, 18.0);
     let cfo = big_cfo();
-    let expected_rot = std::f64::consts::TAU
-        * cfo
-        * arraytrack::dsp::cfo::LTS_SEPARATION_S;
+    let expected_rot = std::f64::consts::TAU * cfo * arraytrack::dsp::cfo::LTS_SEPARATION_S;
 
     let offrow_phase = |cfo_hz: f64, correct: bool| -> f64 {
         let cfg = CaptureConfig {
@@ -79,7 +80,11 @@ fn cfo_rotates_the_offrow_set_and_correction_removes_it() {
 
     let wrap = |x: f64| {
         let t = x.rem_euclid(std::f64::consts::TAU);
-        if t > std::f64::consts::PI { t - std::f64::consts::TAU } else { t }
+        if t > std::f64::consts::PI {
+            t - std::f64::consts::TAU
+        } else {
+            t
+        }
     };
     let drift = wrap(uncorrected - clean).abs();
     assert!(

@@ -27,7 +27,14 @@ fn collide(
     let fa = Frame::with_random_body(8, &mut rng);
     let fb = Frame::with_random_body(8, &mut rng);
     let span = offset_s.max(0.0) + fb.duration() + fa.duration();
-    let rx_a = sim.receive(&Transmitter::at(a), &array, |t| fa.eval(t), 0.0, span, SAMPLE_RATE_HZ);
+    let rx_a = sim.receive(
+        &Transmitter::at(a),
+        &array,
+        |t| fa.eval(t),
+        0.0,
+        span,
+        SAMPLE_RATE_HZ,
+    );
     let rx_b = sim.receive(
         &Transmitter::at(b),
         &array,
@@ -98,7 +105,14 @@ fn single_packet_is_not_a_collision() {
     let mut rng = StdRng::seed_from_u64(3);
     let f = Frame::with_random_body(4, &mut rng);
     let tx = Transmitter::at(array.point_at(1.0, 10.0));
-    let streams = sim.receive(&tx, &array, |t| f.eval(t), 0.0, f.duration() + 10e-6, SAMPLE_RATE_HZ);
+    let streams = sim.receive(
+        &tx,
+        &array,
+        |t| f.eval(t),
+        0.0,
+        f.duration() + 10e-6,
+        SAMPLE_RATE_HZ,
+    );
     let err = process_collision(&streams, SAMPLE_RATE_HZ, &SicConfig::default()).unwrap_err();
     assert_eq!(err, SicError::NotEnoughDetections(1));
 }

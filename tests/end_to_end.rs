@@ -43,7 +43,10 @@ fn free_space_localization_is_centimeter_grade() {
     let dep = Deployment::free_space(1);
     let cfg = CaptureConfig::default();
     let pipeline = ApPipelineConfig::arraytrack(8);
-    for (i, &client) in [pt(12.0, 12.0), pt(30.0, 8.0), pt(40.0, 18.0)].iter().enumerate() {
+    for (i, &client) in [pt(12.0, 12.0), pt(30.0, 8.0), pt(40.0, 18.0)]
+        .iter()
+        .enumerate()
+    {
         let est = localize_client(&dep, client, &cfg, &pipeline, 1, 100 + i as u64);
         assert!(
             est.distance(client) < 0.3,
@@ -65,7 +68,10 @@ fn office_localization_is_submeter_for_typical_clients() {
     }
     errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = errors[errors.len() / 2];
-    assert!(median < 1.0, "median office error {median:.2} m, all: {errors:?}");
+    assert!(
+        median < 1.0,
+        "median office error {median:.2} m, all: {errors:?}"
+    );
 }
 
 #[test]

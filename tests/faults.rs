@@ -74,12 +74,7 @@ fn errors_with_live(fx: &Fixture, live: &[usize]) -> Vec<f64> {
         .map(|(i, &ci)| {
             server.clear();
             for &ap in live {
-                server.add_observation_from(
-                    ap,
-                    fx.dep.aps[ap].pose,
-                    fx.spectra[i][ap].clone(),
-                    0,
-                );
+                server.add_observation_from(ap, fx.dep.aps[ap].pose, fx.spectra[i][ap].clone(), 0);
             }
             let est = server.try_localize().expect("live quorum must fix");
             let err = est.position.distance(fx.dep.clients[ci]);
@@ -129,13 +124,27 @@ fn error_degrades_monotonically_as_aps_fail() {
     let med5 = median(errors_with_live(fx, &[0, 2, 3, 4, 5]));
     let med4 = median(errors_with_live(fx, &[0, 2, 4, 5]));
     let med3 = median(errors_with_live(fx, &[0, 2, 4]));
-    println!("median error: 6 APs {med6:.3} m, 5 APs {med5:.3} m, 4 APs {med4:.3} m, 3 APs {med3:.3} m");
+    println!(
+        "median error: 6 APs {med6:.3} m, 5 APs {med5:.3} m, 4 APs {med4:.3} m, 3 APs {med3:.3} m"
+    );
     // Monotone growth, with slack for near-equal neighboring sizes (the
     // paper's Fig. 14 also shows 5 ≈ 6).
-    assert!(med5 >= med6 - 0.10, "5-AP median {med5:.3} below 6-AP {med6:.3}");
-    assert!(med4 >= med6 - 0.10, "4-AP median {med4:.3} below 6-AP {med6:.3}");
-    assert!(med3 >= med6 - 0.10, "3-AP median {med3:.3} below 6-AP {med6:.3}");
-    assert!(med3 >= med5 - 0.10, "3-AP median {med3:.3} below 5-AP {med5:.3}");
+    assert!(
+        med5 >= med6 - 0.10,
+        "5-AP median {med5:.3} below 6-AP {med6:.3}"
+    );
+    assert!(
+        med4 >= med6 - 0.10,
+        "4-AP median {med4:.3} below 6-AP {med6:.3}"
+    );
+    assert!(
+        med3 >= med6 - 0.10,
+        "3-AP median {med3:.3} below 6-AP {med6:.3}"
+    );
+    assert!(
+        med3 >= med5 - 0.10,
+        "3-AP median {med3:.3} below 5-AP {med5:.3}"
+    );
     // Graceful: the half-deployment median is bounded.
     assert!(
         med3 < 2.0 * med6,
@@ -160,7 +169,10 @@ fn antenna_dropout_degrades_gracefully() {
             let a = acquire_spectrum(&fx.dep, ap, ci, &fx.cfg, &plan, &acq, &mut rng)
                 .expect("dropout is not an acquisition failure");
             assert!(
-                a.spectrum.values().iter().all(|v| v.is_finite() && *v >= 0.0),
+                a.spectrum
+                    .values()
+                    .iter()
+                    .all(|v| v.is_finite() && *v >= 0.0),
                 "AP {ap}: dropout spectrum must stay finite and non-negative"
             );
         }
@@ -173,7 +185,11 @@ fn antenna_dropout_degrades_gracefully() {
             for ap in 0..fx.dep.aps.len() {
                 server.add_observation_from(ap, fx.dep.aps[ap].pose, fx.spectra[i][ap].clone(), 0);
             }
-            server.try_localize().unwrap().position.distance(fx.dep.clients[ci])
+            server
+                .try_localize()
+                .unwrap()
+                .position
+                .distance(fx.dep.clients[ci])
         };
         assert!(err.is_finite());
         assert!(
@@ -286,7 +302,10 @@ fn stale_spectra_are_gated_by_quorum() {
         &mut rng,
     )
     .expect("fresh-enough spectra meet quorum");
-    assert!(est.position.distance(fx.dep.clients[CLIENTS[1]]).is_finite());
+    assert!(est
+        .position
+        .distance(fx.dep.clients[CLIENTS[1]])
+        .is_finite());
 }
 
 #[test]

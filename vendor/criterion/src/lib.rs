@@ -42,14 +42,20 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         // Calibration pass: find an iteration count that fills the target
         // sample time, so per-sample clock overhead is negligible.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let once = b.elapsed.max(Duration::from_nanos(1));
         let iters = (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
