@@ -3,8 +3,8 @@
 #
 # Usage: ./ci.sh [--quick]
 #
-#   --quick   format + build + tier-1 tests only (the inner-loop subset);
-#             CI proper runs every stage.
+#   --quick   format + build + tier-1 tests + at-serve protocol unit
+#             tests (the inner-loop subset); CI proper runs every stage.
 #
 # Stages:
 #   fmt          — cargo fmt --check over the whole workspace
@@ -16,6 +16,13 @@
 #                  tier is bit-reproducible)
 #   lint         — clippy -D warnings on every workspace crate, including
 #                  at-dsp, at-linalg, and at-obs
+#   serve        — the networked location service: wire-protocol unit +
+#                  property tests (decoder totality, bit-exact round trips)
+#                  and the loopback server tests (parity, shedding,
+#                  deadlines, drain), then loadgen --smoke — a seconds-scale
+#                  sustained/overload/drain run that fails on throughput
+#                  collapse, inert admission control, or dropped in-flight
+#                  requests (full runs refresh BENCH_SERVE.json)
 #   bench-smoke  — perf_report --smoke: the observed per-stage latency
 #                  budget (detect/spectrum/fusion, from the at-obs metrics
 #                  the instrumented pipeline records) must stay within 3x of
@@ -56,12 +63,24 @@ robustness() {
     cargo test -q -p at-core --test proptests
 }
 
+serve() {
+    cargo test -q -p at-serve
+    cargo run --release -q -p at-bench --bin loadgen -- --smoke
+}
+
 stage fmt cargo fmt --all --check
 stage build cargo build --release
 stage tier1 cargo test -q
 
-if [[ $QUICK -eq 0 ]]; then
+if [[ $QUICK -eq 1 ]]; then
+    # The wire protocol is the one subsystem whose bugs tier-1 cannot see
+    # (the facade tests drive it through a healthy path only), so its
+    # unit + property tests ride in the inner loop too. Cheap: no server
+    # sockets, just encode/decode.
+    stage proto cargo test -q -p at-serve --lib
+else
     stage robustness robustness
+    stage serve serve
     # Whole workspace except the vendored registry stand-ins (vendor/*),
     # which mirror upstream APIs verbatim and are not held to our lints.
     stage lint cargo clippy -q --workspace --exclude rand --exclude proptest \

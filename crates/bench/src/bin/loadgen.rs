@@ -1,0 +1,15 @@
+//! Load generator for the `at-serve` networked location service:
+//! sustained-throughput, overload-shedding, and graceful-drain phases
+//! over loopback TCP.
+//!
+//! - default: full run, refreshes `BENCH_SERVE.json` at the repo root;
+//! - `--smoke`: seconds-scale CI gate (non-zero exit when throughput
+//!   collapses or the shed/drain behaviors disappear).
+fn main() -> std::io::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        at_bench::experiments::serve_load::run_smoke()
+    } else {
+        at_bench::experiments::serve_load::run()
+    }
+}

@@ -23,4 +23,5 @@ pub mod low_snr;
 pub mod perf;
 pub mod reachability;
 pub mod robustness;
+pub mod serve_load;
 pub mod tab01;

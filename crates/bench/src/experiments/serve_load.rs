@@ -1,0 +1,359 @@
+//! Load generation against the networked location service (`at-serve`):
+//! sustained-throughput, overload, and graceful-drain phases over loopback
+//! TCP, committed to `BENCH_SERVE.json` at the repo root.
+//!
+//! Three phases:
+//!
+//! 1. **sustained** — concurrent clients with pre-filled six-AP sessions
+//!    issue localize requests back to back; reports responses/sec and the
+//!    client-observed p50/p95/p99 round-trip latency.
+//! 2. **overload** — a deliberately tiny server (one worker, depth-1
+//!    queues) under a 32-client storm with client retry disabled: offered
+//!    load beyond capacity must *shed* (typed `Overloaded` frames, shed
+//!    counter > 0) while the server keeps answering — proven by a
+//!    ping + localize after the storm.
+//! 3. **drain** — a request is parked mid-batch-window while the server
+//!    shuts down; graceful drain must still answer it with a fix.
+//!
+//! `--smoke` runs the same three phases at CI scale (seconds, not
+//! minutes) and exits non-zero if the sustained throughput collapses
+//! below [`SMOKE_MIN_RPS`] or the shed/drain behaviors disappear.
+
+use crate::report::Report;
+use at_channel::geometry::pt;
+use at_core::health::HealthPolicy;
+use at_core::synthesis::SearchRegion;
+use at_core::AoaSpectrum;
+use at_serve::{spawn, BatchPolicy, Client, ClientConfig, ClientError, ServeConfig, ServiceConfig};
+use at_testbed::office;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Where the committed JSON results live (repo root).
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE.json");
+
+/// Spectrum resolution of the workload (the paper pipeline's MUSIC scan).
+const BINS: usize = 720;
+
+/// Smoke gate: the sustained phase must clear this rate. Far below the
+/// committed baseline on purpose — the gate catches collapse (a lost
+/// batch path, an accidental serial queue), not scheduler noise.
+const SMOKE_MIN_RPS: f64 = 100.0;
+
+/// Percentile of a sample set, nearest-rank on the sorted copy.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The office deployment's geometry as a wire service (synthetic lobe
+/// spectra stand in for the radio path: the load target is the server,
+/// not the channel simulator).
+fn office_service() -> ServiceConfig {
+    ServiceConfig {
+        poses: office::ap_poses()
+            .into_iter()
+            .map(|(center, axis_angle)| at_core::synthesis::ApPose { center, axis_angle })
+            .collect(),
+        region: SearchRegion::new(pt(0.0, 0.0), pt(office::WIDTH, office::DEPTH)),
+        bins: BINS,
+        policy: HealthPolicy::default(),
+    }
+}
+
+/// A clean single-lobe spectrum aimed from AP `ap` at `target`.
+fn lobe_spectrum(
+    service: &ServiceConfig,
+    ap: usize,
+    target: at_channel::geometry::Point,
+) -> AoaSpectrum {
+    let bearing = service.poses[ap].bearing_to(target);
+    AoaSpectrum::from_fn(BINS, |t| {
+        let d = at_channel::geometry::angle_diff(t, bearing);
+        (-(d / 0.22).powi(2)).exp() + 0.01
+    })
+}
+
+/// Connects and fills a session with all six AP spectra for `target`.
+fn primed_client(
+    addr: SocketAddr,
+    service: &ServiceConfig,
+    target: at_channel::geometry::Point,
+    cfg: ClientConfig,
+) -> Client {
+    let mut c = Client::connect(addr, cfg).expect("connect");
+    for ap in 0..service.poses.len() {
+        c.submit(ap as u32, 0, &lobe_spectrum(service, ap, target))
+            .expect("submit");
+    }
+    c
+}
+
+struct SustainedResult {
+    clients: usize,
+    responses: usize,
+    seconds: f64,
+    rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Sustained phase: `clients` threads, `per_client` localize requests
+/// each, against a production-shaped server.
+fn run_sustained(report: &Report, clients: usize, per_client: usize) -> SustainedResult {
+    let service = office_service();
+    let cfg = ServeConfig {
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get().clamp(2, 8))
+            .unwrap_or(4),
+        admission_depth: 128,
+        exec_depth: 8,
+        batch: BatchPolicy::default(),
+        retry_after_ms: 5,
+    };
+    let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let service = service.clone();
+            thread::spawn(move || {
+                let target = pt(
+                    4.0 + (ci as f64 * 5.3) % (office::WIDTH - 8.0),
+                    3.0 + (ci as f64 * 2.9) % (office::DEPTH - 6.0),
+                );
+                let mut c = primed_client(addr, &service, target, ClientConfig::default());
+                let mut latencies_ms = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    c.localize(None).expect("sustained fix");
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.fixes as usize, clients * per_client);
+
+    let result = SustainedResult {
+        clients,
+        responses: latencies.len(),
+        seconds,
+        rps: latencies.len() as f64 / seconds,
+        p50_ms: percentile(&latencies, 0.5),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+    };
+    report.line(format!(
+        "  sustained: {} responses in {:.2} s = {:.0} rps; latency p50 {:.2} / p95 {:.2} / p99 {:.2} ms",
+        result.responses, result.seconds, result.rps, result.p50_ms, result.p95_ms, result.p99_ms,
+    ));
+    result
+}
+
+struct OverloadResult {
+    clients: usize,
+    offered: usize,
+    fixes: usize,
+    shed: usize,
+    responsive_after: bool,
+}
+
+/// Overload phase: a storm against a deliberately tiny server.
+fn run_overload(report: &Report, clients: usize, per_client: usize) -> OverloadResult {
+    let service = office_service();
+    let cfg = ServeConfig {
+        workers: 1,
+        admission_depth: 1,
+        exec_depth: 1,
+        batch: BatchPolicy {
+            window: Duration::from_millis(1),
+            max_batch: 2,
+        },
+        retry_after_ms: 5,
+    };
+    let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
+    let addr = server.addr();
+
+    let fixes = Arc::new(AtomicUsize::new(0));
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let service = service.clone();
+            let fixes = Arc::clone(&fixes);
+            let sheds = Arc::clone(&sheds);
+            thread::spawn(move || {
+                let target = pt(6.0 + ci as f64 % 30.0, 4.0 + ci as f64 % 15.0);
+                // Retry disabled: every shed surfaces as Overloaded.
+                let cfg = ClientConfig {
+                    max_attempts: 1,
+                    ..ClientConfig::default()
+                };
+                let mut c = primed_client(addr, &service, target, cfg);
+                for _ in 0..per_client {
+                    match c.localize(None) {
+                        Ok(_) => fixes.fetch_add(1, Ordering::Relaxed),
+                        Err(ClientError::Overloaded { .. }) => {
+                            sheds.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Err(e) => panic!("unexpected error under overload: {e}"),
+                    };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread");
+    }
+
+    // Still fully responsive after the storm?
+    let mut c = primed_client(addr, &service, pt(10.0, 5.0), ClientConfig::default());
+    let responsive_after = c.ping(7).is_ok() && c.localize(None).is_ok();
+    let stats = server.shutdown();
+
+    let result = OverloadResult {
+        clients,
+        offered: clients * per_client,
+        fixes: fixes.load(Ordering::Relaxed),
+        shed: sheds.load(Ordering::Relaxed),
+        responsive_after,
+    };
+    assert_eq!(result.fixes + result.shed, result.offered);
+    assert_eq!(stats.shed, result.shed as u64);
+    report.line(format!(
+        "  overload: {} offered -> {} fixes, {} shed (typed Overloaded), responsive after: {}",
+        result.offered, result.fixes, result.shed, result.responsive_after,
+    ));
+    result
+}
+
+/// Drain phase: shutdown must answer the request parked in the batcher.
+fn run_drain(report: &Report) -> bool {
+    let service = office_service();
+    let cfg = ServeConfig {
+        batch: BatchPolicy {
+            window: Duration::from_millis(300),
+            max_batch: 8,
+        },
+        ..ServeConfig::default()
+    };
+    let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
+    let addr = server.addr();
+    let in_flight = thread::spawn(move || {
+        let mut c = primed_client(addr, &service, pt(14.0, 9.0), ClientConfig::default());
+        c.localize(None)
+    });
+    thread::sleep(Duration::from_millis(80));
+    let stats = server.shutdown();
+    let drained = in_flight.join().expect("drain thread").is_ok() && stats.fixes == 1;
+    report.line(format!(
+        "  drain: in-flight request answered during shutdown: {drained}"
+    ));
+    drained
+}
+
+fn write_json(
+    sustained: &SustainedResult,
+    overload: &OverloadResult,
+    drained: bool,
+) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  \"sustained\": {{ \"clients\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
+        sustained.clients,
+        sustained.responses,
+        sustained.seconds,
+        sustained.rps,
+        sustained.p50_ms,
+        sustained.p95_ms,
+        sustained.p99_ms,
+        overload.clients,
+        overload.offered,
+        overload.fixes,
+        overload.shed,
+        overload.responsive_after,
+        drained,
+    );
+    let mut f = std::fs::File::create(BASELINE_PATH)?;
+    f.write_all(json.as_bytes())?;
+    println!("  -> wrote {BASELINE_PATH}");
+    Ok(())
+}
+
+/// Full loadgen run: refreshes `BENCH_SERVE.json` at the repo root.
+pub fn run() -> std::io::Result<()> {
+    let report = Report::new("serve")?;
+    report.section("at-serve loadgen (loopback)");
+    let sustained = run_sustained(&report, 8, 600);
+    let overload = run_overload(&report, 32, 16);
+    let drained = run_drain(&report);
+    report.csv(
+        "loadgen",
+        &["metric", "value"],
+        vec![
+            vec!["responses_per_sec".into(), format!("{:.0}", sustained.rps)],
+            vec!["latency_p50_ms".into(), format!("{:.3}", sustained.p50_ms)],
+            vec!["latency_p95_ms".into(), format!("{:.3}", sustained.p95_ms)],
+            vec!["latency_p99_ms".into(), format!("{:.3}", sustained.p99_ms)],
+            vec!["overload_shed".into(), overload.shed.to_string()],
+            vec!["drained".into(), drained.to_string()],
+        ],
+    )?;
+    write_json(&sustained, &overload, drained)?;
+    if sustained.rps < 1000.0 {
+        report.line(format!(
+            "  WARNING: sustained rate {:.0} rps below the 1k target on this host",
+            sustained.rps
+        ));
+    }
+    Ok(())
+}
+
+/// CI serve-smoke gate: same phases, seconds-scale, non-zero exit when
+/// throughput collapses or shed/drain behavior disappears.
+pub fn run_smoke() -> std::io::Result<()> {
+    let report = Report::new("serve_smoke")?;
+    report.section("serve-smoke: loopback sanity at CI scale");
+    let sustained = run_sustained(&report, 4, 60);
+    let overload = run_overload(&report, 16, 8);
+    let drained = run_drain(&report);
+    let mut failures = Vec::new();
+    if sustained.rps < SMOKE_MIN_RPS {
+        failures.push(format!(
+            "sustained {:.0} rps below the {SMOKE_MIN_RPS:.0} floor",
+            sustained.rps
+        ));
+    }
+    if overload.shed == 0 {
+        failures.push("overload run shed nothing — admission control inert".into());
+    }
+    if !overload.responsive_after {
+        failures.push("server unresponsive after the overload storm".into());
+    }
+    if !drained {
+        failures.push("graceful shutdown dropped an in-flight request".into());
+    }
+    if failures.is_empty() {
+        report.line("  serve-smoke: all gates passed");
+        Ok(())
+    } else {
+        Err(std::io::Error::other(format!(
+            "serve-smoke failed: {}",
+            failures.join("; ")
+        )))
+    }
+}

@@ -57,7 +57,10 @@ pub use faults::{ApFaultProfile, FaultPlan};
 pub use health::{ApStatus, HealthPolicy, HealthTracker, LocalizeError};
 pub use music::{music_analysis, music_spectrum, MusicAnalysis, MusicConfig};
 pub use parallel::parallel_map;
-pub use pipeline::{process_frame, process_frame_group, ApPipelineConfig, ArrayTrackServer};
+pub use pipeline::{
+    execute_fusion, fuse_batch, fuse_with_engine, plan_fusion, process_frame, process_frame_group,
+    ApPipelineConfig, ArrayTrackServer, FusedObservation, FusionPlan,
+};
 pub use spectrum::{AoaSpectrum, Peak};
 pub use suppression::{suppress_multipath, SuppressionConfig};
 pub use synthesis::{

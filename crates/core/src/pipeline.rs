@@ -127,6 +127,178 @@ pub fn process_frame_group(
     suppress_multipath(&spectra, suppression)
 }
 
+/// One observation entering policy-gated fusion against a shared
+/// [`LocalizationEngine`].
+///
+/// This is the engine-shared (and batchable) form of what
+/// [`ArrayTrackServer::try_localize`] consumes internally: the networked
+/// location service keeps *one* engine per deployment and runs every
+/// query through [`plan_fusion`] / [`execute_fusion`], getting results
+/// bit-identical to an in-process server built from the same
+/// submissions.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedObservation<'a> {
+    /// Index of the producing AP in the engine's pose table.
+    pub pose_idx: usize,
+    /// The processed AoA spectrum.
+    pub spectrum: &'a AoaSpectrum,
+    /// Deployment AP identity for health lookups (`None` = anonymous,
+    /// always trusted — the legacy `add_observation` path).
+    pub ap_id: Option<usize>,
+    /// Spectrum age in server refresh intervals (0 = fresh).
+    pub age: u64,
+}
+
+/// The survivors of policy filtering, ready for [`execute_fusion`]:
+/// indices into the planned observation slice plus their confidence
+/// weights.
+#[derive(Clone, Debug)]
+pub struct FusionPlan {
+    picked: Vec<(usize, f64)>,
+}
+
+impl FusionPlan {
+    /// Number of observations that survived filtering.
+    pub fn fused(&self) -> usize {
+        self.picked.len()
+    }
+}
+
+/// Filters and weights `obs` under the degradation policy, without
+/// touching an engine: resolution check against `expected_bins`, then the
+/// stale / degenerate / down drops and degraded-AP tempering documented on
+/// [`ArrayTrackServer::try_localize`], then the quorum gate.
+///
+/// Callers holding a deployment-wide engine pass `engine.bins()`;
+/// [`ArrayTrackServer::try_localize`] passes its first observation's
+/// resolution (identical semantics — its engine is built with that
+/// resolution).
+pub fn plan_fusion(
+    obs: &[FusedObservation<'_>],
+    expected_bins: usize,
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+) -> Result<FusionPlan, LocalizeError> {
+    if obs.is_empty() {
+        return Err(LocalizeError::NoObservations);
+    }
+    for (i, o) in obs.iter().enumerate() {
+        if o.spectrum.bins() != expected_bins {
+            return Err(LocalizeError::ResolutionMismatch {
+                observation: i,
+                bins: o.spectrum.bins(),
+                expected: expected_bins,
+            });
+        }
+    }
+
+    let (mut stale, mut down, mut degenerate) = (0usize, 0usize, 0usize);
+    let mut picked: Vec<(usize, f64)> = Vec::new();
+    for (i, o) in obs.iter().enumerate() {
+        if policy.is_stale(o.age) {
+            stale += 1;
+            at_obs::count!("at_observations_dropped_total", "reason" => "stale");
+            continue;
+        }
+        if o.spectrum.max_value() == 0.0 {
+            degenerate += 1;
+            at_obs::count!("at_observations_dropped_total", "reason" => "degenerate");
+            continue;
+        }
+        let status = o
+            .ap_id
+            .map_or(ApStatus::Healthy, |ap| health.status(ap, policy));
+        match status {
+            ApStatus::Down => {
+                down += 1;
+                at_obs::count!("at_observations_dropped_total", "reason" => "down");
+            }
+            ApStatus::Degraded => {
+                at_obs::count!("at_observations_fused_total", "health" => "degraded");
+                picked.push((i, policy.degraded_weight));
+            }
+            ApStatus::Healthy => {
+                at_obs::count!("at_observations_fused_total", "health" => "healthy");
+                picked.push((i, 1.0));
+            }
+        }
+    }
+
+    let required = policy.min_quorum.max(1);
+    if picked.len() < required {
+        return Err(LocalizeError::QuorumNotMet {
+            available: picked.len(),
+            required,
+            stale,
+            down,
+            degenerate,
+        });
+    }
+    Ok(FusionPlan { picked })
+}
+
+/// Runs a [`FusionPlan`]'s surviving observations through `engine`.
+///
+/// Tempered (degraded) spectra get owned storage; full-trust spectra are
+/// borrowed as-is, so an all-healthy plan is byte-identical to calling
+/// [`LocalizationEngine::localize`] on the raw spectra.
+pub fn execute_fusion(
+    engine: &LocalizationEngine,
+    obs: &[FusedObservation<'_>],
+    plan: &FusionPlan,
+) -> LocationEstimate {
+    let tempered: Vec<Option<AoaSpectrum>> = plan
+        .picked
+        .iter()
+        .map(|&(i, w)| (w < 1.0).then(|| confidence_weighted(obs[i].spectrum, w)))
+        .collect();
+    let picked: Vec<(usize, &AoaSpectrum)> = plan
+        .picked
+        .iter()
+        .zip(&tempered)
+        .map(|(&(i, _), t)| (obs[i].pose_idx, t.as_ref().unwrap_or(obs[i].spectrum)))
+        .collect();
+    engine.localize(&picked)
+}
+
+/// [`plan_fusion`] + [`execute_fusion`] against a deployment-shared
+/// engine — one networked localize query.
+pub fn fuse_with_engine(
+    engine: &LocalizationEngine,
+    obs: &[FusedObservation<'_>],
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+) -> Result<LocationEstimate, LocalizeError> {
+    let plan = plan_fusion(obs, engine.bins(), health, policy)?;
+    Ok(execute_fusion(engine, obs, &plan))
+}
+
+/// Batch-localize entry point: runs every query of `queries` through the
+/// shared `engine` under one health snapshot, fanning out across up to
+/// `threads` OS threads (the queries of a batch are independent).
+///
+/// This is what a serving layer's batch executor calls after coalescing
+/// concurrent localize requests: engine caches stay hot across the whole
+/// batch and per-query results are identical to calling
+/// [`fuse_with_engine`] one query at a time.
+pub fn fuse_batch(
+    engine: &LocalizationEngine,
+    queries: &[&[FusedObservation<'_>]],
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+    threads: usize,
+) -> Vec<Result<LocationEstimate, LocalizeError>> {
+    if queries.len() <= 1 || threads <= 1 {
+        return queries
+            .iter()
+            .map(|q| fuse_with_engine(engine, q, health, policy))
+            .collect();
+    }
+    crate::parallel::parallel_map(queries, threads, |_, q| {
+        fuse_with_engine(engine, q, health, policy)
+    })
+}
+
 /// Submission metadata carried alongside each observation: which
 /// deployment AP produced it (for health tracking) and how old it is.
 #[derive(Clone, Copy, Debug)]
@@ -362,76 +534,25 @@ impl ArrayTrackServer {
             return Err(LocalizeError::NoObservations);
         }
         let bins = self.observations[0].spectrum.bins();
-        for (i, o) in self.observations.iter().enumerate() {
-            if o.spectrum.bins() != bins {
-                return Err(LocalizeError::ResolutionMismatch {
-                    observation: i,
-                    bins: o.spectrum.bins(),
-                    expected: bins,
-                });
-            }
-        }
-
-        let (mut stale, mut down, mut degenerate) = (0usize, 0usize, 0usize);
-        let mut picked: Vec<(usize, f64)> = Vec::new();
-        for (i, o) in self.observations.iter().enumerate() {
-            let meta = self.meta[i];
-            if self.policy.is_stale(meta.age) {
-                stale += 1;
-                at_obs::count!("at_observations_dropped_total", "reason" => "stale");
-                continue;
-            }
-            if o.spectrum.max_value() == 0.0 {
-                degenerate += 1;
-                at_obs::count!("at_observations_dropped_total", "reason" => "degenerate");
-                continue;
-            }
-            let status = meta
-                .ap_id
-                .map_or(ApStatus::Healthy, |ap| self.health.status(ap, &self.policy));
-            match status {
-                ApStatus::Down => {
-                    down += 1;
-                    at_obs::count!("at_observations_dropped_total", "reason" => "down");
-                }
-                ApStatus::Degraded => {
-                    at_obs::count!("at_observations_fused_total", "health" => "degraded");
-                    picked.push((i, self.policy.degraded_weight));
-                }
-                ApStatus::Healthy => {
-                    at_obs::count!("at_observations_fused_total", "health" => "healthy");
-                    picked.push((i, 1.0));
-                }
-            }
-        }
-
-        let required = self.policy.min_quorum.max(1);
-        if picked.len() < required {
-            return Err(LocalizeError::QuorumNotMet {
-                available: picked.len(),
-                required,
-                stale,
-                down,
-                degenerate,
-            });
-        }
-
-        let slot = self.ensure_engine(bins);
-        let engine = slot.as_ref().expect("engine was just built");
-        // Tempered spectra need owned storage; full-trust ones are borrowed
-        // as-is so the all-healthy path is byte-identical to `localize`.
-        let tempered: Vec<Option<AoaSpectrum>> = picked
+        // The engine's pose table mirrors the observation list, so each
+        // observation's pose index is simply its position.
+        let fused: Vec<FusedObservation<'_>> = self
+            .observations
             .iter()
-            .map(|&(i, w)| {
-                (w < 1.0).then(|| confidence_weighted(&self.observations[i].spectrum, w))
+            .zip(&self.meta)
+            .enumerate()
+            .map(|(i, (o, m))| FusedObservation {
+                pose_idx: i,
+                spectrum: &o.spectrum,
+                ap_id: m.ap_id,
+                age: m.age,
             })
             .collect();
-        let obs: Vec<(usize, &AoaSpectrum)> = picked
-            .iter()
-            .zip(&tempered)
-            .map(|(&(i, _), t)| (i, t.as_ref().unwrap_or(&self.observations[i].spectrum)))
-            .collect();
-        Ok(engine.localize(&obs))
+        // Plan first: a quorum failure must not pay an engine rebuild.
+        let plan = plan_fusion(&fused, bins, &self.health, &self.policy)?;
+        let slot = self.ensure_engine(bins);
+        let engine = slot.as_ref().expect("engine was just built");
+        Ok(execute_fusion(engine, &fused, &plan))
     }
 
     /// The accumulated observations (for heatmap rendering).
@@ -799,6 +920,107 @@ mod tests {
         // The all-zero spectrum is dropped, the healthy three still fix.
         let est = server.try_localize().expect("healthy APs remain");
         assert!(est.position.distance(target) < 0.3);
+    }
+
+    #[test]
+    fn shared_engine_fusion_matches_in_process_server() {
+        // A deployment-wide engine over six poses, queried with a subset,
+        // must produce the *same bits* as an in-process server that only
+        // ever saw that subset — the invariant the networked service
+        // relies on.
+        let target = pt(7.0, 3.0);
+        let all_poses: Vec<ApPose> = [
+            (pt(0.0, 0.0), 0.3),
+            (pt(12.0, 0.0), 2.0),
+            (pt(6.0, 8.0), 4.5),
+            (pt(0.0, 8.0), 5.2),
+            (pt(12.0, 8.0), 3.7),
+            (pt(6.0, 0.0), 1.1),
+        ]
+        .into_iter()
+        .map(|(center, axis)| ApPose {
+            center,
+            axis_angle: axis,
+        })
+        .collect();
+        let region = SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0));
+        let engine = LocalizationEngine::new(&all_poses, region, 720);
+
+        // The subset query: deployment APs 0, 2, 4.
+        let subset = [0usize, 2, 4];
+        let spectra: Vec<AoaSpectrum> = subset
+            .iter()
+            .map(|&i| lobe_toward(all_poses[i], target))
+            .collect();
+
+        let mut server = ArrayTrackServer::new(region);
+        for (k, &i) in subset.iter().enumerate() {
+            server.add_observation_from(i, all_poses[i], spectra[k].clone(), 0);
+        }
+        let in_process = server.try_localize().expect("healthy subset");
+
+        let fused: Vec<FusedObservation> = subset
+            .iter()
+            .zip(&spectra)
+            .map(|(&i, s)| FusedObservation {
+                pose_idx: i,
+                spectrum: s,
+                ap_id: Some(i),
+                age: 0,
+            })
+            .collect();
+        let health = HealthTracker::new(all_poses.len());
+        let shared = fuse_with_engine(&engine, &fused, &health, &HealthPolicy::default())
+            .expect("healthy subset");
+        assert_eq!(in_process.position.x.to_bits(), shared.position.x.to_bits());
+        assert_eq!(in_process.position.y.to_bits(), shared.position.y.to_bits());
+        assert_eq!(in_process.likelihood.to_bits(), shared.likelihood.to_bits());
+
+        // And the batch entry point agrees with the one-at-a-time path.
+        let queries: Vec<&[FusedObservation]> = vec![&fused, &fused];
+        let batch = fuse_batch(&engine, &queries, &health, &HealthPolicy::default(), 2);
+        for r in batch {
+            let est = r.expect("healthy batch");
+            assert_eq!(est.position.x.to_bits(), shared.position.x.to_bits());
+            assert_eq!(est.position.y.to_bits(), shared.position.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_fusion_surfaces_typed_errors() {
+        let pose = ApPose {
+            center: pt(0.0, 0.0),
+            axis_angle: 0.0,
+        };
+        let spec = lobe_toward(pose, pt(3.0, 3.0));
+        let policy = HealthPolicy::default();
+        let health = HealthTracker::new(1);
+        assert_eq!(
+            plan_fusion(&[], 720, &health, &policy).unwrap_err(),
+            crate::health::LocalizeError::NoObservations
+        );
+        let obs = [FusedObservation {
+            pose_idx: 0,
+            spectrum: &spec,
+            ap_id: Some(0),
+            age: 0,
+        }];
+        match plan_fusion(&obs, 360, &health, &policy) {
+            Err(crate::health::LocalizeError::ResolutionMismatch {
+                observation,
+                bins,
+                expected,
+            }) => assert_eq!((observation, bins, expected), (0, 720, 360)),
+            other => panic!("expected ResolutionMismatch, got {other:?}"),
+        }
+        // A stale-only submission fails quorum with the stale count.
+        let stale_obs = [FusedObservation { age: 99, ..obs[0] }];
+        match plan_fusion(&stale_obs, 720, &health, &policy) {
+            Err(crate::health::LocalizeError::QuorumNotMet { stale, .. }) => {
+                assert_eq!(stale, 1)
+            }
+            other => panic!("expected QuorumNotMet, got {other:?}"),
+        }
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub const FUSION: &str = "fusion";
 pub const LOCALIZE: &str = "localize";
 /// One AP's full spectrum acquisition (capture + retries + processing).
 pub const ACQUIRE: &str = "acquire";
+/// One networked localize request end to end: frame receipt to reply
+/// written (at-serve connection thread).
+pub const SERVE_REQUEST: &str = "serve_request";
+/// Admission-queue dwell plus batch gathering (at-serve batcher).
+pub const SERVE_QUEUE: &str = "serve_queue";
+/// One coalesced engine sweep over a batch of localize requests
+/// (at-serve worker).
+pub const SERVE_BATCH: &str = "serve_batch";
 
 /// Every stage name, in pipeline order (export and doc tooling).
 pub const ALL_STAGES: &[&str] = &[
@@ -50,6 +58,9 @@ pub const ALL_STAGES: &[&str] = &[
     FUSION,
     LOCALIZE,
     ACQUIRE,
+    SERVE_REQUEST,
+    SERVE_QUEUE,
+    SERVE_BATCH,
 ];
 
 /// The `at_stage_seconds{stage=..}` histogram for a stage (registered on

@@ -1,0 +1,276 @@
+//! A blocking client for the location service.
+//!
+//! The client keeps one TCP connection and speaks the request-response
+//! protocol of [`crate::proto`]: every call writes one frame and reads one
+//! reply. Robustness mirrors the testbed's acquisition retry policy
+//! (`at-testbed::acquire`): a bounded number of attempts (default 3, the
+//! same budget `AcquireConfig` gives spectrum acquisition) with a fixed
+//! backoff, applied to connecting and — because the server sheds load by
+//! design — to [`Client::localize`] calls answered with `Overloaded`,
+//! honoring the server's retry hint.
+
+use crate::proto::{self, ApHealthReport, Frame, ReadError};
+use at_channel::geometry::Point;
+use at_core::health::LocalizeError;
+use at_core::synthesis::LocationEstimate;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Connection and retry policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Budget for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the established connection (`None` = block).
+    pub io_timeout: Option<Duration>,
+    /// Total attempts for connect and for overloaded localize calls —
+    /// the same budget as the testbed's `AcquireConfig::max_attempts`.
+    pub max_attempts: u32,
+    /// Backoff between attempts (the server's `retry_after_ms` hint is
+    /// used instead when it is longer).
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Some(Duration::from_secs(10)),
+            max_attempts: 3,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The peer broke the wire protocol (undecodable frame, or the server
+    /// answered with a `ProtocolError` frame — code and message attached).
+    Protocol(String),
+    /// The server refused to localize, with the same typed error the
+    /// in-process `try_localize` returns.
+    Localize(LocalizeError),
+    /// Admission control shed the request on every attempt.
+    Overloaded {
+        /// The server's last retry hint, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request's deadline expired before the server could serve it.
+    DeadlineExceeded,
+    /// The server is draining and no longer admits requests.
+    ShuttingDown,
+    /// The server answered with a frame type this call did not expect.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Localize(e) => write!(f, "localize failed: {e}"),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms} ms)")
+            }
+            Self::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Self::ShuttingDown => write!(f, "server shutting down"),
+            Self::Unexpected(what) => write!(f, "unexpected response frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => Self::Io(e),
+            ReadError::Decode(e) => Self::Protocol(e.to_string()),
+        }
+    }
+}
+
+/// A location fix as received over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteFix {
+    /// Estimated client position.
+    pub position: Point,
+    /// Likelihood at the estimate (comparable within one query only).
+    pub likelihood: f64,
+    /// Health of every AP the session cited, as the fusion saw it.
+    pub health: Vec<ApHealthReport>,
+}
+
+impl RemoteFix {
+    /// The fix as an in-process [`LocationEstimate`] (for bit-exact
+    /// comparison against `ArrayTrackServer::try_localize`).
+    pub fn estimate(&self) -> LocationEstimate {
+        LocationEstimate {
+            position: self.position,
+            likelihood: self.likelihood,
+        }
+    }
+}
+
+/// A blocking connection to a location server.
+pub struct Client {
+    stream: TcpStream,
+    cfg: ClientConfig,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying up to `cfg.max_attempts` times with
+    /// `cfg.backoff` between attempts.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        assert!(cfg.max_attempts >= 1, "need at least one attempt");
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..cfg.max_attempts {
+            if attempt > 0 {
+                thread::sleep(cfg.backoff);
+            }
+            for a in &addrs {
+                match TcpStream::connect_timeout(a, cfg.connect_timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(cfg.io_timeout)?;
+                        stream.set_write_timeout(cfg.io_timeout)?;
+                        return Ok(Self { stream, cfg });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(ClientError::Io(last_err.expect("at least one attempt ran")))
+    }
+
+    /// One request-response exchange.
+    fn request(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        proto::write_frame(&mut self.stream, frame)?;
+        match proto::read_frame(&mut self.stream)? {
+            Some(reply) => Ok(reply),
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Interprets replies every call can receive; `Ok` passes the frame
+    /// through for call-specific handling.
+    fn common(reply: Frame) -> Result<Frame, ClientError> {
+        match reply {
+            Frame::ProtocolError { code, message } => Err(ClientError::Protocol(format!(
+                "server code {code}: {message}"
+            ))),
+            Frame::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Ok(other),
+        }
+    }
+
+    /// Submits a spectrum from deployment AP `ap_id`, `age` refresh
+    /// intervals old, into this connection's session. Returns the
+    /// session's observation count.
+    pub fn submit(
+        &mut self,
+        ap_id: u32,
+        age: u64,
+        spectrum: &at_core::AoaSpectrum,
+    ) -> Result<u32, ClientError> {
+        let reply = self.request(&Frame::SubmitSpectrum {
+            ap_id,
+            age,
+            spectrum: spectrum.clone(),
+        })?;
+        match Self::common(reply)? {
+            Frame::SubmitAck { observations } => Ok(observations),
+            _ => Err(ClientError::Unexpected("wanted SubmitAck")),
+        }
+    }
+
+    /// Reports a failed spectrum acquisition from AP `ap_id` (drives the
+    /// server-side health tracker).
+    pub fn report_failure(&mut self, ap_id: u32) -> Result<(), ClientError> {
+        let reply = self.request(&Frame::ReportFailure { ap_id })?;
+        match Self::common(reply)? {
+            Frame::SubmitAck { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted SubmitAck")),
+        }
+    }
+
+    /// Drops this connection's accumulated spectra (server-side health
+    /// state survives, as with the in-process server's `clear`).
+    pub fn clear(&mut self) -> Result<(), ClientError> {
+        let reply = self.request(&Frame::ClearSession)?;
+        match Self::common(reply)? {
+            Frame::SubmitAck { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted SubmitAck")),
+        }
+    }
+
+    /// Liveness probe: round-trips `token` through the server without
+    /// touching the localize queues.
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        let reply = self.request(&Frame::Ping { token })?;
+        match Self::common(reply)? {
+            Frame::Pong { token: echoed } if echoed == token => Ok(()),
+            Frame::Pong { .. } => Err(ClientError::Unexpected("pong with a foreign token")),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Localizes this session's spectra. `deadline` is the time budget the
+    /// server may spend (`None` = unbounded). `Overloaded` replies are
+    /// retried up to `max_attempts` total tries, sleeping the longer of
+    /// the configured backoff and the server's hint between tries.
+    pub fn localize(&mut self, deadline: Option<Duration>) -> Result<RemoteFix, ClientError> {
+        let deadline_ms = deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let reply = self.request(&Frame::Localize { deadline_ms })?;
+            match Self::common(reply)? {
+                Frame::Fix {
+                    x,
+                    y,
+                    likelihood,
+                    health,
+                } => {
+                    return Ok(RemoteFix {
+                        position: Point { x, y },
+                        likelihood,
+                        health,
+                    })
+                }
+                Frame::Failed { error } => return Err(ClientError::Localize(error)),
+                Frame::DeadlineExceeded => return Err(ClientError::DeadlineExceeded),
+                Frame::Overloaded { retry_after_ms } => {
+                    if attempt >= self.cfg.max_attempts {
+                        return Err(ClientError::Overloaded { retry_after_ms });
+                    }
+                    let hint = Duration::from_millis(u64::from(retry_after_ms));
+                    thread::sleep(self.cfg.backoff.max(hint));
+                }
+                _ => return Err(ClientError::Unexpected("wanted Fix or Failed")),
+            }
+        }
+    }
+}

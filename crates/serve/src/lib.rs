@@ -1,0 +1,41 @@
+//! # at-serve — the networked location service
+//!
+//! ArrayTrack is designed as a *service*: many APs stream processed AoA
+//! spectra into a central server, many clients ask it "where am I?" (§1;
+//! the §4.4 latency budget is an end-to-end service number). This crate is
+//! that network boundary, built entirely on `std::net` + threads:
+//!
+//! - [`proto`] — a versioned, length-prefixed binary wire protocol with a
+//!   total decoder: arbitrary bytes yield a frame, a "need more" signal,
+//!   or a typed error, never a panic;
+//! - [`queue`] — bounded closing queues, the backpressure primitive;
+//! - [`batch`] — the coalescing window that turns concurrent localize
+//!   requests into one shared-engine sweep;
+//! - [`server`] — the thread-pool TCP server: admission control that
+//!   sheds load with typed `Overloaded` frames instead of queuing
+//!   unboundedly, client-propagated deadlines enforced before the
+//!   expensive stages, request batching, and drain-then-stop shutdown;
+//! - [`client`] — a blocking client with the same bounded-attempts retry
+//!   discipline as the testbed's acquisition layer.
+//!
+//! The server fuses through [`at_core::plan_fusion`] /
+//! [`at_core::execute_fusion`] — the exact code path behind the in-process
+//! `ArrayTrackServer::try_localize` — so a networked fix is bit-exact with
+//! the in-process one and degraded deployments keep their typed
+//! `LocalizeError`/health semantics across the wire. Every stage records
+//! into `at-obs` (queue-depth gauges, shed and deadline-miss counters,
+//! `serve_*` stage histograms).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use batch::BatchPolicy;
+pub use client::{Client, ClientConfig, ClientError, RemoteFix};
+pub use proto::{ApHealthReport, DecodeError, Frame, ReadError};
+pub use server::{spawn, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot};

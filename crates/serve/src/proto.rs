@@ -1,0 +1,798 @@
+//! The versioned, length-prefixed binary wire protocol of the location
+//! service.
+//!
+//! Every frame is `MAGIC ("AT") + version + frame type + payload length
+//! (u32 LE) + payload`, all integers little-endian. The decoder is total:
+//! any byte sequence either yields a frame, asks for more bytes, or
+//! returns a typed [`DecodeError`] — it never panics and never allocates
+//! more than the declared (and capped) payload length, so a malicious or
+//! corrupt peer cannot take the server down (the `proto_proptests` suite
+//! fuzzes this over random, truncated, and bit-flipped frames).
+//!
+//! Client → server frames: [`Frame::SubmitSpectrum`],
+//! [`Frame::ReportFailure`], [`Frame::Localize`], [`Frame::ClearSession`],
+//! [`Frame::Ping`]. Server → client frames: [`Frame::SubmitAck`],
+//! [`Frame::Fix`], [`Frame::Failed`], [`Frame::Overloaded`],
+//! [`Frame::DeadlineExceeded`], [`Frame::Pong`], [`Frame::ProtocolError`],
+//! [`Frame::ShuttingDown`]. Spectra travel as raw `f64` bins; submission
+//! decoding enforces the [`AoaSpectrum`] invariants (finite, non-negative,
+//! ≥ 8 bins) so a decoded frame can always be turned into a spectrum
+//! without panicking.
+
+use at_core::health::{ApStatus, LocalizeError};
+use at_core::AoaSpectrum;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame preamble: every frame starts with these two bytes.
+pub const MAGIC: [u8; 2] = *b"AT";
+
+/// Current protocol version. A server rejects other versions with
+/// [`DecodeError::BadVersion`] so old clients fail loudly, not subtly.
+pub const VERSION: u8 = 1;
+
+/// Bytes before the payload: magic (2) + version (1) + type (1) +
+/// payload length (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame payload. The largest legitimate frame (a 65536-bin
+/// spectrum submission) is ~512 KiB; anything larger is a protocol error,
+/// decoded *before* any allocation happens.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Largest spectrum resolution accepted on the wire (the localization
+/// engine's bearing grids are `u16`-indexed, so this is also its cap).
+pub const MAX_BINS: usize = 1 << 16;
+
+/// Health of one deployment AP as reported inside a [`Frame::Fix`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApHealthReport {
+    /// Deployment AP index.
+    pub ap_id: u32,
+    /// Health status under the server's policy at fusion time.
+    pub status: ApStatus,
+    /// The AP's consecutive acquisition-failure count.
+    pub consecutive_failures: u32,
+}
+
+/// One protocol frame, either direction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server: a processed AoA spectrum from deployment AP
+    /// `ap_id`, `age` refresh intervals old, for this connection's
+    /// session. Acknowledged with [`Frame::SubmitAck`].
+    SubmitSpectrum {
+        /// Deployment AP index the spectrum came from.
+        ap_id: u32,
+        /// Spectrum age in server refresh intervals (0 = fresh).
+        age: u64,
+        /// The spectrum itself (validated on decode).
+        spectrum: AoaSpectrum,
+    },
+    /// Client → server: AP `ap_id` failed to acquire this interval
+    /// (drives the server-side health tracker exactly like
+    /// `ArrayTrackServer::report_acquisition_failure`).
+    ReportFailure {
+        /// Deployment AP index that failed.
+        ap_id: u32,
+    },
+    /// Client → server: localize this session's accumulated spectra.
+    /// `deadline_ms` is the client's time budget from frame receipt
+    /// (0 = no deadline); the server sheds the request with
+    /// [`Frame::DeadlineExceeded`] instead of doing work that can no
+    /// longer be useful.
+    Localize {
+        /// Relative deadline in milliseconds (0 = none).
+        deadline_ms: u32,
+    },
+    /// Client → server: drop this session's accumulated spectra (health
+    /// state is deployment-wide and deliberately survives, mirroring
+    /// `ArrayTrackServer::clear`).
+    ClearSession,
+    /// Client → server: liveness probe, answered with [`Frame::Pong`]
+    /// without touching the localize queues.
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Server → client: submission accepted; `observations` is the
+    /// session's accumulated spectrum count.
+    SubmitAck {
+        /// Observations now held for this session.
+        observations: u32,
+    },
+    /// Server → client: a location fix plus the deployment health the
+    /// fusion saw.
+    Fix {
+        /// Estimated x, meters.
+        x: f64,
+        /// Estimated y, meters.
+        y: f64,
+        /// Likelihood at the estimate (comparable within one query only).
+        likelihood: f64,
+        /// Per-AP health snapshot used by this fusion.
+        health: Vec<ApHealthReport>,
+    },
+    /// Server → client: the deployment could not support a fix; carries
+    /// the same typed [`LocalizeError`] the in-process server returns.
+    Failed {
+        /// Why fusion refused.
+        error: LocalizeError,
+    },
+    /// Server → client: admission control shed the request (queue full).
+    /// The request was *not* processed; retry after the hint.
+    Overloaded {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Server → client: the request's deadline expired before the
+    /// expensive stages ran; no fix was computed.
+    DeadlineExceeded,
+    /// Server → client: answer to [`Frame::Ping`].
+    Pong {
+        /// The ping's token, echoed.
+        token: u64,
+    },
+    /// Server → client: the last frame could not be honored (bad AP
+    /// index, malformed payload). The connection stays usable.
+    ProtocolError {
+        /// Machine-readable code (see `server` for assignments).
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Server → client: the server is draining; the request was not
+    /// admitted. Reconnect elsewhere or retry later.
+    ShuttingDown,
+}
+
+/// Frame-type byte values (requests < 0x80, responses ≥ 0x80).
+mod ft {
+    pub const SUBMIT: u8 = 0x01;
+    pub const REPORT_FAILURE: u8 = 0x02;
+    pub const LOCALIZE: u8 = 0x03;
+    pub const CLEAR: u8 = 0x04;
+    pub const PING: u8 = 0x05;
+    pub const SUBMIT_ACK: u8 = 0x81;
+    pub const FIX: u8 = 0x82;
+    pub const FAILED: u8 = 0x83;
+    pub const OVERLOADED: u8 = 0x84;
+    pub const DEADLINE: u8 = 0x85;
+    pub const PONG: u8 = 0x86;
+    pub const PROTOCOL_ERROR: u8 = 0x87;
+    pub const SHUTTING_DOWN: u8 = 0x88;
+}
+
+/// Why a byte sequence is not a valid frame. Every variant is
+/// connection-fatal (framing can no longer be trusted) except when
+/// returned from a higher-level validation that chooses to answer with
+/// [`Frame::ProtocolError`] instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 2],
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// Unknown frame-type byte.
+    UnknownType {
+        /// The type byte found.
+        got: u8,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize {
+        /// The declared length.
+        len: usize,
+    },
+    /// The payload does not parse as its frame type.
+    Malformed {
+        /// The frame-type byte being parsed.
+        frame: u8,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { got } => write!(f, "bad frame magic {got:02x?}"),
+            Self::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (want {VERSION})")
+            }
+            Self::UnknownType { got } => write!(f, "unknown frame type 0x{got:02x}"),
+            Self::Oversize { len } => {
+                write!(f, "payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")
+            }
+            Self::Malformed { frame, reason } => {
+                write!(f, "malformed 0x{frame:02x} frame: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked little-endian payload reader.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, i: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.i.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn done(&self) -> bool {
+        self.i == self.b.len()
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn status_to_wire(s: ApStatus) -> u8 {
+    match s {
+        ApStatus::Healthy => 0,
+        ApStatus::Degraded => 1,
+        ApStatus::Down => 2,
+    }
+}
+
+fn status_from_wire(b: u8) -> Option<ApStatus> {
+    match b {
+        0 => Some(ApStatus::Healthy),
+        1 => Some(ApStatus::Degraded),
+        2 => Some(ApStatus::Down),
+        _ => None,
+    }
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::SubmitSpectrum { .. } => ft::SUBMIT,
+            Frame::ReportFailure { .. } => ft::REPORT_FAILURE,
+            Frame::Localize { .. } => ft::LOCALIZE,
+            Frame::ClearSession => ft::CLEAR,
+            Frame::Ping { .. } => ft::PING,
+            Frame::SubmitAck { .. } => ft::SUBMIT_ACK,
+            Frame::Fix { .. } => ft::FIX,
+            Frame::Failed { .. } => ft::FAILED,
+            Frame::Overloaded { .. } => ft::OVERLOADED,
+            Frame::DeadlineExceeded => ft::DEADLINE,
+            Frame::Pong { .. } => ft::PONG,
+            Frame::ProtocolError { .. } => ft::PROTOCOL_ERROR,
+            Frame::ShuttingDown => ft::SHUTTING_DOWN,
+        }
+    }
+
+    /// Appends this frame's wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.type_byte());
+        push_u32(out, 0); // payload length, patched below
+        let payload_at = out.len();
+        match self {
+            Frame::SubmitSpectrum {
+                ap_id,
+                age,
+                spectrum,
+            } => {
+                push_u32(out, *ap_id);
+                push_u64(out, *age);
+                push_u32(out, spectrum.bins() as u32);
+                for v in spectrum.values() {
+                    push_f64(out, *v);
+                }
+            }
+            Frame::ReportFailure { ap_id } => push_u32(out, *ap_id),
+            Frame::Localize { deadline_ms } => push_u32(out, *deadline_ms),
+            Frame::ClearSession | Frame::DeadlineExceeded | Frame::ShuttingDown => {}
+            Frame::Ping { token } | Frame::Pong { token } => push_u64(out, *token),
+            Frame::SubmitAck { observations } => push_u32(out, *observations),
+            Frame::Fix {
+                x,
+                y,
+                likelihood,
+                health,
+            } => {
+                push_f64(out, *x);
+                push_f64(out, *y);
+                push_f64(out, *likelihood);
+                push_u32(out, health.len() as u32);
+                for h in health {
+                    push_u32(out, h.ap_id);
+                    out.push(status_to_wire(h.status));
+                    push_u32(out, h.consecutive_failures);
+                }
+            }
+            Frame::Failed { error } => match error {
+                LocalizeError::NoObservations => out.push(0),
+                LocalizeError::QuorumNotMet {
+                    available,
+                    required,
+                    stale,
+                    down,
+                    degenerate,
+                } => {
+                    out.push(1);
+                    push_u64(out, *available as u64);
+                    push_u64(out, *required as u64);
+                    push_u64(out, *stale as u64);
+                    push_u64(out, *down as u64);
+                    push_u64(out, *degenerate as u64);
+                }
+                LocalizeError::ResolutionMismatch {
+                    observation,
+                    bins,
+                    expected,
+                } => {
+                    out.push(2);
+                    push_u64(out, *observation as u64);
+                    push_u64(out, *bins as u64);
+                    push_u64(out, *expected as u64);
+                }
+            },
+            Frame::Overloaded { retry_after_ms } => push_u32(out, *retry_after_ms),
+            Frame::ProtocolError { code, message } => {
+                out.push(*code);
+                let msg = message.as_bytes();
+                let n = msg.len().min(u16::MAX as usize);
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                out.extend_from_slice(&msg[..n]);
+            }
+        }
+        let len = (out.len() - payload_at) as u32;
+        out[header_at + 4..header_at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// This frame's wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Decodes the payload of a frame whose header already validated.
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+    let mal = |reason: &'static str| DecodeError::Malformed { frame: ty, reason };
+    let mut c = Cur::new(payload);
+    let frame = match ty {
+        ft::SUBMIT => {
+            let ap_id = c.u32().ok_or(mal("truncated ap_id"))?;
+            let age = c.u64().ok_or(mal("truncated age"))?;
+            let bins = c.u32().ok_or(mal("truncated bin count"))? as usize;
+            if !(8..=MAX_BINS).contains(&bins) {
+                return Err(mal("spectrum bin count out of range"));
+            }
+            let raw = c
+                .take(bins.checked_mul(8).ok_or(mal("bin count overflow"))?)
+                .ok_or(mal("truncated spectrum values"))?;
+            let mut values = Vec::with_capacity(bins);
+            for chunk in raw.chunks_exact(8) {
+                let v = f64::from_le_bytes(chunk.try_into().unwrap());
+                if !v.is_finite() || v < 0.0 {
+                    return Err(mal("spectrum values must be finite and non-negative"));
+                }
+                values.push(v);
+            }
+            Frame::SubmitSpectrum {
+                ap_id,
+                age,
+                spectrum: AoaSpectrum::from_values(values),
+            }
+        }
+        ft::REPORT_FAILURE => Frame::ReportFailure {
+            ap_id: c.u32().ok_or(mal("truncated ap_id"))?,
+        },
+        ft::LOCALIZE => Frame::Localize {
+            deadline_ms: c.u32().ok_or(mal("truncated deadline"))?,
+        },
+        ft::CLEAR => Frame::ClearSession,
+        ft::PING => Frame::Ping {
+            token: c.u64().ok_or(mal("truncated token"))?,
+        },
+        ft::SUBMIT_ACK => Frame::SubmitAck {
+            observations: c.u32().ok_or(mal("truncated count"))?,
+        },
+        ft::FIX => {
+            let x = c.f64().ok_or(mal("truncated x"))?;
+            let y = c.f64().ok_or(mal("truncated y"))?;
+            let likelihood = c.f64().ok_or(mal("truncated likelihood"))?;
+            let n = c.u32().ok_or(mal("truncated health count"))? as usize;
+            // 9 bytes per entry; bound before allocating.
+            if n > payload.len() / 9 {
+                return Err(mal("health count exceeds payload"));
+            }
+            let mut health = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ap_id = c.u32().ok_or(mal("truncated health ap_id"))?;
+                let status = status_from_wire(c.u8().ok_or(mal("truncated health status"))?)
+                    .ok_or(mal("unknown health status"))?;
+                let consecutive_failures = c.u32().ok_or(mal("truncated failure count"))?;
+                health.push(ApHealthReport {
+                    ap_id,
+                    status,
+                    consecutive_failures,
+                });
+            }
+            Frame::Fix {
+                x,
+                y,
+                likelihood,
+                health,
+            }
+        }
+        ft::FAILED => {
+            let code = c.u8().ok_or(mal("truncated error code"))?;
+            let error = match code {
+                0 => LocalizeError::NoObservations,
+                1 => LocalizeError::QuorumNotMet {
+                    available: c.u64().ok_or(mal("truncated available"))? as usize,
+                    required: c.u64().ok_or(mal("truncated required"))? as usize,
+                    stale: c.u64().ok_or(mal("truncated stale"))? as usize,
+                    down: c.u64().ok_or(mal("truncated down"))? as usize,
+                    degenerate: c.u64().ok_or(mal("truncated degenerate"))? as usize,
+                },
+                2 => LocalizeError::ResolutionMismatch {
+                    observation: c.u64().ok_or(mal("truncated observation"))? as usize,
+                    bins: c.u64().ok_or(mal("truncated bins"))? as usize,
+                    expected: c.u64().ok_or(mal("truncated expected"))? as usize,
+                },
+                _ => return Err(mal("unknown localize-error code")),
+            };
+            Frame::Failed { error }
+        }
+        ft::OVERLOADED => Frame::Overloaded {
+            retry_after_ms: c.u32().ok_or(mal("truncated retry hint"))?,
+        },
+        ft::DEADLINE => Frame::DeadlineExceeded,
+        ft::PONG => Frame::Pong {
+            token: c.u64().ok_or(mal("truncated token"))?,
+        },
+        ft::PROTOCOL_ERROR => {
+            let code = c.u8().ok_or(mal("truncated code"))?;
+            let n = c
+                .take(2)
+                .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+                .ok_or(mal("truncated message length"))? as usize;
+            let raw = c.take(n).ok_or(mal("truncated message"))?;
+            Frame::ProtocolError {
+                code,
+                message: String::from_utf8_lossy(raw).into_owned(),
+            }
+        }
+        ft::SHUTTING_DOWN => Frame::ShuttingDown,
+        other => return Err(DecodeError::UnknownType { got: other }),
+    };
+    if !c.done() {
+        return Err(mal("trailing payload bytes"));
+    }
+    Ok(frame)
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds a valid prefix of a frame (read
+/// more bytes and retry), `Ok(Some((frame, consumed)))` on success, and a
+/// [`DecodeError`] when the bytes can never become a valid frame. Never
+/// panics, for any input.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < 2 {
+        if !buf.is_empty() && buf[0] != MAGIC[0] {
+            return Err(DecodeError::BadMagic { got: [buf[0], 0] });
+        }
+        return Ok(None);
+    }
+    if buf[0] != MAGIC[0] || buf[1] != MAGIC[1] {
+        return Err(DecodeError::BadMagic {
+            got: [buf[0], buf[1]],
+        });
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let version = buf[2];
+    if version != VERSION {
+        return Err(DecodeError::BadVersion { got: version });
+    }
+    let ty = buf[3];
+    let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversize { len });
+    }
+    let Some(end) = HEADER_LEN.checked_add(len) else {
+        return Err(DecodeError::Oversize { len });
+    };
+    if buf.len() < end {
+        return Ok(None);
+    }
+    let frame = decode_payload(ty, &buf[HEADER_LEN..end])?;
+    Ok(Some((frame, end)))
+}
+
+/// Writes one frame to a blocking stream.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)
+}
+
+/// A connection-level read failure.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The transport failed (or closed mid-frame).
+    Io(io::Error),
+    /// The peer sent bytes that are not a frame; framing is lost and the
+    /// connection must be dropped.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Decode(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream *at a frame boundary*; a
+/// peer that disappears mid-frame is an [`ReadError::Io`] with
+/// `UnexpectedEof`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    // Validate the header before allocating the payload.
+    match decode(&header) {
+        Ok(_) => {}
+        Err(e) => return Err(ReadError::Decode(e)),
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let mut buf = Vec::with_capacity(HEADER_LEN + len);
+    buf.extend_from_slice(&header);
+    buf.resize(HEADER_LEN + len, 0);
+    r.read_exact(&mut buf[HEADER_LEN..])?;
+    match decode(&buf) {
+        Ok(Some((frame, consumed))) => {
+            debug_assert_eq!(consumed, buf.len());
+            Ok(Some(frame))
+        }
+        // A full header + payload must decode or error, never ask for more.
+        Ok(None) => Err(ReadError::Decode(DecodeError::Malformed {
+            frame: header[3],
+            reason: "internal: complete frame decoded as incomplete",
+        })),
+        Err(e) => Err(ReadError::Decode(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = f.encode();
+        let (decoded, consumed) = decode(&bytes).expect("valid").expect("complete");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, f);
+        // Truncated prefixes are Incomplete (Ok(None)) or a typed error —
+        // never a bogus frame, never a panic.
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(_)) => panic!("decoded a frame from a {cut}-byte prefix"),
+            }
+        }
+    }
+
+    fn spectrum() -> AoaSpectrum {
+        AoaSpectrum::from_fn(720, |t| (t.sin().abs() + 0.25) * 3.5)
+    }
+
+    #[test]
+    fn all_frame_types_roundtrip_bit_exact() {
+        roundtrip(Frame::SubmitSpectrum {
+            ap_id: 3,
+            age: 7,
+            spectrum: spectrum(),
+        });
+        roundtrip(Frame::ReportFailure { ap_id: 2 });
+        roundtrip(Frame::Localize { deadline_ms: 150 });
+        roundtrip(Frame::ClearSession);
+        roundtrip(Frame::Ping { token: 0xDEAD_BEEF });
+        roundtrip(Frame::SubmitAck { observations: 6 });
+        roundtrip(Frame::Fix {
+            x: 12.3456789,
+            y: -0.25,
+            likelihood: 1e-42,
+            health: vec![
+                ApHealthReport {
+                    ap_id: 0,
+                    status: ApStatus::Healthy,
+                    consecutive_failures: 0,
+                },
+                ApHealthReport {
+                    ap_id: 5,
+                    status: ApStatus::Down,
+                    consecutive_failures: 9,
+                },
+            ],
+        });
+        roundtrip(Frame::Failed {
+            error: LocalizeError::NoObservations,
+        });
+        roundtrip(Frame::Failed {
+            error: LocalizeError::QuorumNotMet {
+                available: 1,
+                required: 2,
+                stale: 3,
+                down: 4,
+                degenerate: 5,
+            },
+        });
+        roundtrip(Frame::Failed {
+            error: LocalizeError::ResolutionMismatch {
+                observation: 1,
+                bins: 360,
+                expected: 720,
+            },
+        });
+        roundtrip(Frame::Overloaded { retry_after_ms: 25 });
+        roundtrip(Frame::DeadlineExceeded);
+        roundtrip(Frame::Pong { token: 1 });
+        roundtrip(Frame::ProtocolError {
+            code: 4,
+            message: "ap index out of range".into(),
+        });
+        roundtrip(Frame::ShuttingDown);
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert_eq!(
+            decode(b"XT\x01\x01\x00\x00\x00\x00"),
+            Err(DecodeError::BadMagic { got: [b'X', b'T'] })
+        );
+        assert_eq!(
+            decode(b"AT\x09\x01\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion { got: 9 })
+        );
+        assert_eq!(
+            decode(b"AT\x01\x7f\x00\x00\x00\x00"),
+            Err(DecodeError::UnknownType { got: 0x7f })
+        );
+        let oversize = [b'A', b'T', VERSION, ft::PING, 0xff, 0xff, 0xff, 0xff];
+        assert_eq!(
+            decode(&oversize),
+            Err(DecodeError::Oversize { len: 0xffff_ffff })
+        );
+    }
+
+    #[test]
+    fn hostile_spectra_are_rejected() {
+        // NaN values must not reach AoaSpectrum::from_values.
+        let mut bytes = Frame::SubmitSpectrum {
+            ap_id: 0,
+            age: 0,
+            spectrum: spectrum(),
+        }
+        .encode();
+        let nan = f64::NAN.to_bits().to_le_bytes();
+        bytes[HEADER_LEN + 16..HEADER_LEN + 24].copy_from_slice(&nan);
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed { .. })));
+        // A bin count that disagrees with the payload is malformed.
+        let mut bytes = Frame::SubmitSpectrum {
+            ap_id: 0,
+            age: 0,
+            spectrum: spectrum(),
+        }
+        .encode();
+        bytes[HEADER_LEN + 12..HEADER_LEN + 16].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut bytes = Frame::Ping { token: 1 }.encode();
+        bytes.push(0);
+        let len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[4..8].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed { .. })));
+    }
+
+    #[test]
+    fn streamed_frames_decode_one_at_a_time() {
+        let mut buf = Vec::new();
+        Frame::Ping { token: 1 }.encode_into(&mut buf);
+        Frame::ClearSession.encode_into(&mut buf);
+        let (f1, used) = decode(&buf).unwrap().unwrap();
+        assert_eq!(f1, Frame::Ping { token: 1 });
+        let (f2, used2) = decode(&buf[used..]).unwrap().unwrap();
+        assert_eq!(f2, Frame::ClearSession);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn read_write_frame_over_a_pipe() {
+        let f = Frame::Fix {
+            x: 1.0,
+            y: 2.0,
+            likelihood: 0.5,
+            health: vec![],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(f));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None); // clean EOF
+    }
+}

@@ -1,0 +1,624 @@
+//! The thread-pool TCP location server.
+//!
+//! Request path (one bounded queue between each pair of stages, so every
+//! stage applies backpressure to the one before it):
+//!
+//! ```text
+//! conn threads ──try_push──▶ admission queue ──▶ batcher ──push──▶ exec
+//!   (1/socket)    shed ⇒ Overloaded      (coalesce ≤ window)   queue
+//!                                                               │
+//!                                         workers ◀─────────────┘
+//!                                  (fuse_batch on the shared engine)
+//! ```
+//!
+//! - **Admission control** is the `try_push` edge: when the admission
+//!   queue is full the request is *refused* with a typed
+//!   [`Frame::Overloaded`] carrying a retry hint — the server never queues
+//!   unboundedly and stays responsive under any offered load.
+//! - **Deadlines** travel from the client as a relative budget; the clock
+//!   starts at frame receipt and is checked at every stage boundary
+//!   *before* the expensive fusion sweep, so a request that can no longer
+//!   make its deadline costs a queue slot, not an engine walk.
+//! - **Batching** coalesces localize requests arriving within
+//!   [`BatchPolicy::window`] into one [`at_core::fuse_batch`] sweep over
+//!   the shared precomputed engine.
+//! - **Shutdown** is drain-then-stop: the admission queue closes (new
+//!   requests see [`Frame::ShuttingDown`]), everything already admitted is
+//!   fused and answered, then the stage threads and connections wind down
+//!   in pipeline order.
+//!
+//! Fusion itself is [`at_core::plan_fusion`]/[`at_core::execute_fusion`] —
+//! the *same* code path as the in-process `ArrayTrackServer::try_localize`
+//! — so a networked fix over a healthy deployment is bit-exact with the
+//! in-process one, and degraded deployments surface the same
+//! [`at_core::health::LocalizeError`] values over the wire.
+
+use crate::batch::{gather, BatchPolicy};
+use crate::proto::{self, ApHealthReport, Frame, ReadError};
+use crate::queue::Bounded;
+use at_core::health::{HealthPolicy, HealthTracker};
+use at_core::synthesis::{ApPose, SearchRegion};
+use at_core::{AoaSpectrum, FusedObservation, LocalizationEngine, LocationEstimate};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What the service localizes against: the deployment geometry and the
+/// degradation policy. Fixed for the server's lifetime (the engine is
+/// precomputed from it once, at spawn).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// AP poses, indexed by the wire protocol's `ap_id`.
+    pub poses: Vec<ApPose>,
+    /// Search region (and grid pitch) fixes are computed over.
+    pub region: SearchRegion,
+    /// Spectrum resolution submissions must eventually match (mismatches
+    /// are accepted at submit and refused at localize with
+    /// [`at_core::health::LocalizeError::ResolutionMismatch`], like the
+    /// in-process server).
+    pub bins: usize,
+    /// Health/quorum policy for degraded-deployment fusion.
+    pub policy: HealthPolicy,
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty deployment, a bin count outside the engine's
+    /// `8..=65536` range, or an inconsistent policy.
+    pub fn validate(&self) {
+        assert!(!self.poses.is_empty(), "a service needs at least one AP");
+        assert!(
+            (8..=(1 << 16)).contains(&self.bins),
+            "bins must be in 8..=65536"
+        );
+        self.policy.validate();
+    }
+}
+
+/// Server runtime shape: thread counts, queue depths, batching.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Fusion worker threads.
+    pub workers: usize,
+    /// Admission queue depth — the *only* place requests wait; beyond it
+    /// they are shed with [`Frame::Overloaded`].
+    pub admission_depth: usize,
+    /// Executor queue depth, in batches (small: its only job is keeping
+    /// workers fed while the batcher gathers the next batch).
+    pub exec_depth: usize,
+    /// Coalescing policy for localize requests.
+    pub batch: BatchPolicy,
+    /// Retry hint attached to [`Frame::Overloaded`] responses.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            admission_depth: 64,
+            exec_depth: 4,
+            batch: BatchPolicy::default(),
+            retry_after_ms: 10,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero workers or zero queue depths.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.admission_depth >= 1, "admission queue needs depth");
+        assert!(self.exec_depth >= 1, "exec queue needs depth");
+        self.batch.validate();
+    }
+}
+
+/// One spectrum accumulated in a connection's session.
+#[derive(Clone, Debug)]
+struct SessionObs {
+    ap_id: u32,
+    age: u64,
+    spectrum: AoaSpectrum,
+}
+
+/// One admitted localize request traveling through the stage queues.
+struct Job {
+    obs: Vec<SessionObs>,
+    /// Absolute expiry (frame receipt + the client's relative budget).
+    deadline: Option<Instant>,
+    /// When the request entered the admission queue (queue-dwell metric).
+    enqueued: Instant,
+    reply: mpsc::SyncSender<Frame>,
+}
+
+#[derive(Default)]
+struct Stats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
+    fixes: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// A point-in-time copy of the server's request counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Localize requests received (including shed ones).
+    pub requests: u64,
+    /// Localize requests refused by admission control.
+    pub shed: u64,
+    /// Localize requests dropped because their deadline expired in queue.
+    pub deadline_missed: u64,
+    /// Fixes produced.
+    pub fixes: u64,
+    /// Typed localize failures returned (quorum, resolution, empty).
+    pub failures: u64,
+}
+
+struct Shared {
+    engine: LocalizationEngine,
+    policy: HealthPolicy,
+    health: Mutex<HealthTracker>,
+    n_aps: usize,
+    draining: AtomicBool,
+    retry_after_ms: u32,
+    stats: Stats,
+}
+
+/// Spawns a location server and returns a handle to it.
+///
+/// Binds `addr` (use port 0 for an ephemeral loopback port), precomputes
+/// the localization engine for the deployment, and starts the acceptor,
+/// batcher, and worker threads. The server runs until
+/// [`ServerHandle::shutdown`] (or drop).
+pub fn spawn(
+    service: ServiceConfig,
+    cfg: ServeConfig,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    service.validate();
+    cfg.validate();
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        engine: LocalizationEngine::new(&service.poses, service.region, service.bins),
+        policy: service.policy,
+        health: Mutex::new(HealthTracker::new(service.poses.len())),
+        n_aps: service.poses.len(),
+        draining: AtomicBool::new(false),
+        retry_after_ms: cfg.retry_after_ms,
+        stats: Stats::default(),
+    });
+    let admission = Arc::new(Bounded::new(cfg.admission_depth, "admission"));
+    let exec: Arc<Bounded<Vec<Job>>> = Arc::new(Bounded::new(cfg.exec_depth, "exec"));
+
+    let batcher = {
+        let admission = Arc::clone(&admission);
+        let exec = Arc::clone(&exec);
+        let shared = Arc::clone(&shared);
+        let policy = cfg.batch;
+        thread::Builder::new()
+            .name("at-serve-batcher".into())
+            .spawn(move || run_batcher(&admission, &exec, &shared, &policy))?
+    };
+
+    let workers = (0..cfg.workers)
+        .map(|i| {
+            let exec = Arc::clone(&exec);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("at-serve-worker-{i}"))
+                .spawn(move || run_worker(&exec, &shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+
+    let accept_stop = Arc::new(AtomicBool::new(false));
+    let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::default();
+    let conn_socks: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let admission = Arc::clone(&admission);
+        let accept_stop = Arc::clone(&accept_stop);
+        let conn_threads = Arc::clone(&conn_threads);
+        let conn_socks = Arc::clone(&conn_socks);
+        thread::Builder::new()
+            .name("at-serve-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    at_obs::count!("at_serve_connections_total");
+                    if let Ok(clone) = stream.try_clone() {
+                        conn_socks.lock().expect("registry poisoned").push(clone);
+                    }
+                    let shared = Arc::clone(&shared);
+                    let admission = Arc::clone(&admission);
+                    if let Ok(handle) = thread::Builder::new()
+                        .name("at-serve-conn".into())
+                        .spawn(move || run_conn(stream, &shared, &admission))
+                    {
+                        conn_threads.lock().expect("registry poisoned").push(handle);
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        shared,
+        admission,
+        accept_stop,
+        acceptor: Some(acceptor),
+        batcher: Some(batcher),
+        workers,
+        conn_threads,
+        conn_socks,
+    })
+}
+
+/// A running server: its address, live counters, and the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    admission: Arc<Bounded<Job>>,
+    accept_stop: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    batcher: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    conn_socks: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            connections: s.connections.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
+            fixes: s.fixes.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain-then-stop: refuse new work, finish and answer
+    /// everything already admitted, then stop every thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        // 1. New localize requests see ShuttingDown; admitted ones drain.
+        self.shared.draining.store(true, Ordering::Release);
+        self.admission.close();
+        // 2. Stop accepting; a self-connection unblocks the acceptor.
+        self.accept_stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // 3. The batcher drains the admission queue, then closes exec;
+        //    workers drain exec, answering every in-flight request.
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // 4. Only now wind down connections. Workers have *sent* every
+        //    admitted reply, but a connection thread may still be writing
+        //    one to its socket — so cut only the read half: blocked
+        //    readers wake with EOF and exit their loop, while in-flight
+        //    reply writes complete.
+        for sock in self.conn_socks.lock().expect("registry poisoned").drain(..) {
+            let _ = sock.shutdown(std::net::Shutdown::Read);
+        }
+        let handles: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("registry poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Per-connection protocol-error codes (the `code` of
+/// [`Frame::ProtocolError`]).
+pub mod errcode {
+    /// The frame could not be decoded; the connection is dropped.
+    pub const UNDECODABLE: u8 = 0;
+    /// `ap_id` does not name a deployment AP.
+    pub const BAD_AP: u8 = 1;
+    /// A server→client frame type arrived at the server.
+    pub const NOT_A_REQUEST: u8 = 2;
+}
+
+fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
+    let mut session: Vec<SessionObs> = Vec::new();
+    loop {
+        let frame = match proto::read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Decode(e)) => {
+                // Framing is lost; say why, then hang up.
+                let _ = proto::write_frame(
+                    &mut stream,
+                    &Frame::ProtocolError {
+                        code: errcode::UNDECODABLE,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let response = match frame {
+            Frame::SubmitSpectrum {
+                ap_id,
+                age,
+                spectrum,
+            } => {
+                if (ap_id as usize) >= shared.n_aps {
+                    Frame::ProtocolError {
+                        code: errcode::BAD_AP,
+                        message: format!(
+                            "ap {ap_id} out of range (deployment has {})",
+                            shared.n_aps
+                        ),
+                    }
+                } else {
+                    shared
+                        .health
+                        .lock()
+                        .expect("health poisoned")
+                        .report_success(ap_id as usize);
+                    session.push(SessionObs {
+                        ap_id,
+                        age,
+                        spectrum,
+                    });
+                    Frame::SubmitAck {
+                        observations: session.len() as u32,
+                    }
+                }
+            }
+            Frame::ReportFailure { ap_id } => {
+                if (ap_id as usize) >= shared.n_aps {
+                    Frame::ProtocolError {
+                        code: errcode::BAD_AP,
+                        message: format!(
+                            "ap {ap_id} out of range (deployment has {})",
+                            shared.n_aps
+                        ),
+                    }
+                } else {
+                    shared
+                        .health
+                        .lock()
+                        .expect("health poisoned")
+                        .report_failure(ap_id as usize);
+                    Frame::SubmitAck {
+                        observations: session.len() as u32,
+                    }
+                }
+            }
+            Frame::ClearSession => {
+                session.clear();
+                Frame::SubmitAck { observations: 0 }
+            }
+            Frame::Ping { token } => Frame::Pong { token },
+            Frame::Localize { deadline_ms } => {
+                handle_localize(shared, admission, &session, deadline_ms)
+            }
+            // Response-type frames are never valid requests.
+            _ => Frame::ProtocolError {
+                code: errcode::NOT_A_REQUEST,
+                message: "server received a response-type frame".into(),
+            },
+        };
+        if proto::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_localize(
+    shared: &Shared,
+    admission: &Bounded<Job>,
+    session: &[SessionObs],
+    deadline_ms: u32,
+) -> Frame {
+    let _t = at_obs::time_stage!(
+        at_obs::stages::SERVE_REQUEST,
+        "observations" => session.len(),
+    );
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    at_obs::count!("at_serve_requests_total");
+    if shared.draining.load(Ordering::Acquire) {
+        return Frame::ShuttingDown;
+    }
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        obs: session.to_vec(),
+        deadline,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    match admission.try_push(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(frame) => frame,
+            // The pipeline dropped the job mid-shutdown without answering.
+            Err(_) => Frame::ShuttingDown,
+        },
+        Err(_refused) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            at_obs::count!("at_serve_shed_total");
+            if shared.draining.load(Ordering::Acquire) {
+                Frame::ShuttingDown
+            } else {
+                Frame::Overloaded {
+                    retry_after_ms: shared.retry_after_ms,
+                }
+            }
+        }
+    }
+}
+
+fn expire_deadline(shared: &Shared, job: &Job, now: Instant) -> bool {
+    if job.deadline.is_some_and(|d| d <= now) {
+        shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        at_obs::count!("at_serve_deadline_missed_total");
+        let _ = job.reply.send(Frame::DeadlineExceeded);
+        return true;
+    }
+    false
+}
+
+fn run_batcher(
+    admission: &Bounded<Job>,
+    exec: &Bounded<Vec<Job>>,
+    shared: &Shared,
+    policy: &BatchPolicy,
+) {
+    let dwell = at_obs::stages::stage_histogram(at_obs::stages::SERVE_QUEUE);
+    while let Some(batch) = gather(admission, policy) {
+        // A request that expired while queued must not occupy a batch slot.
+        let now = Instant::now();
+        for job in &batch {
+            dwell.observe(now.saturating_duration_since(job.enqueued).as_secs_f64());
+        }
+        let live: Vec<Job> = batch
+            .into_iter()
+            .filter(|job| !expire_deadline(shared, job, now))
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        if let Err(refused) = exec.push(live) {
+            // Only possible mid-shutdown; answer rather than drop.
+            for job in refused {
+                let _ = job.reply.send(Frame::ShuttingDown);
+            }
+        }
+    }
+    // Admission is closed and drained: signal the workers.
+    exec.close();
+}
+
+fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
+    while let Some(batch) = exec.pop() {
+        let _t = at_obs::time_stage!(
+            at_obs::stages::SERVE_BATCH,
+            "requests" => batch.len(),
+        );
+        // Last deadline check before the expensive sweep.
+        let now = Instant::now();
+        let live: Vec<Job> = batch
+            .into_iter()
+            .filter(|job| !expire_deadline(shared, job, now))
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        // One health snapshot per batch: every request of a batch is
+        // judged under the same deployment state.
+        let health = shared.health.lock().expect("health poisoned").clone();
+        let fused: Vec<Vec<FusedObservation<'_>>> = live
+            .iter()
+            .map(|job| {
+                job.obs
+                    .iter()
+                    .map(|o| FusedObservation {
+                        pose_idx: o.ap_id as usize,
+                        spectrum: &o.spectrum,
+                        ap_id: Some(o.ap_id as usize),
+                        age: o.age,
+                    })
+                    .collect()
+            })
+            .collect();
+        let queries: Vec<&[FusedObservation<'_>]> = fused.iter().map(Vec::as_slice).collect();
+        // Workers are the parallelism; each sweep runs single-threaded.
+        let results = at_core::fuse_batch(&shared.engine, &queries, &health, &shared.policy, 1);
+        drop(queries);
+        drop(fused);
+        for (job, result) in live.iter().zip(results) {
+            let frame = match result {
+                Ok(estimate) => {
+                    shared.stats.fixes.fetch_add(1, Ordering::Relaxed);
+                    at_obs::count!("at_serve_responses_total", "result" => "fix");
+                    fix_frame(shared, &health, &job.obs, estimate)
+                }
+                Err(error) => {
+                    shared.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    at_obs::count!("at_serve_responses_total", "result" => "failed");
+                    Frame::Failed { error }
+                }
+            };
+            let _ = job.reply.send(frame);
+        }
+    }
+}
+
+/// Builds a [`Frame::Fix`] carrying the health of every AP the session
+/// cited, as judged by the snapshot the fusion actually used.
+fn fix_frame(
+    shared: &Shared,
+    health: &HealthTracker,
+    obs: &[SessionObs],
+    estimate: LocationEstimate,
+) -> Frame {
+    let mut ap_ids: Vec<u32> = obs.iter().map(|o| o.ap_id).collect();
+    ap_ids.sort_unstable();
+    ap_ids.dedup();
+    let reports = ap_ids
+        .into_iter()
+        .map(|ap| ApHealthReport {
+            ap_id: ap,
+            status: health.status(ap as usize, &shared.policy),
+            consecutive_failures: health.consecutive_failures(ap as usize),
+        })
+        .collect();
+    Frame::Fix {
+        x: estimate.position.x,
+        y: estimate.position.y,
+        likelihood: estimate.likelihood,
+        health: reports,
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the wire protocol: the decoder is total (never
+//! panics, for any bytes) and encode→decode is bit-exact for every frame
+//! type.
+
+use at_core::health::{ApStatus, LocalizeError};
+use at_core::AoaSpectrum;
+use at_serve::proto::{decode, ApHealthReport, Frame, HEADER_LEN, MAGIC, VERSION};
+use proptest::prelude::*;
+
+/// Round-trips `frame` and checks bit-exactness (f64 payloads compare via
+/// `AoaSpectrum`/`f64` `PartialEq`, which the encoders preserve bit-for-bit
+/// through `to_bits`/`from_bits`).
+fn roundtrip_exact(frame: &Frame) {
+    let bytes = frame.encode();
+    let (decoded, used) = decode(&bytes)
+        .expect("own encoding must decode")
+        .expect("own encoding is complete");
+    assert_eq!(used, bytes.len());
+    assert_eq!(&decoded, frame);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder: they decode, ask for
+    /// more, or fail with a typed error.
+    #[test]
+    fn decoder_is_total_on_random_bytes(bytes in proptest::collection::vec((0u32..256).prop_map(|v| v as u8), 0..96)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Random bytes carrying a valid header prefix exercise the payload
+    /// parsers without panicking.
+    #[test]
+    fn decoder_is_total_on_header_shaped_bytes(
+        ty_raw in 0u32..256,
+        payload in proptest::collection::vec((0u32..256).prop_map(|v| v as u8), 0..64),
+    ) {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(ty_raw as u8);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let _ = decode(&bytes);
+    }
+
+    /// Truncating or bit-flipping a valid frame never panics, and a
+    /// truncation is never misread as a complete frame.
+    #[test]
+    fn corrupted_frames_fail_cleanly(
+        token in 0u64..u64::MAX,
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let bytes = Frame::Ping { token }.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if let Ok(Some((_, used))) = decode(&bytes[..cut.min(bytes.len())]) {
+            prop_assert!(used <= cut);
+        }
+        let mut flipped = bytes.clone();
+        let at = ((flipped.len() as f64) * flip_frac) as usize % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let _ = decode(&flipped);
+    }
+
+    /// Spectrum submissions round-trip bit-exactly for arbitrary finite
+    /// non-negative spectra.
+    #[test]
+    fn submit_roundtrips_bit_exact(
+        ap_id in 0u32..64,
+        age in 0u64..100,
+        bins_step in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bins = [8, 64, 360, 720][bins_step];
+        // A deterministic but seed-scrambled spectrum body.
+        let mut state = seed | 1;
+        let values: Vec<f64> = (0..bins)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+            })
+            .collect();
+        let frame = Frame::SubmitSpectrum {
+            ap_id,
+            age,
+            spectrum: AoaSpectrum::from_values(values),
+        };
+        roundtrip_exact(&frame);
+    }
+
+    /// Fix frames round-trip bit-exactly, including negative/tiny floats
+    /// and per-AP health entries.
+    #[test]
+    fn fix_roundtrips_bit_exact(
+        x in -1e6f64..1e6,
+        y in -1e6f64..1e6,
+        exp in -300i32..300,
+        n_aps in 0usize..6,
+        status_pick in 0u8..3,
+        fails in 0u32..100,
+    ) {
+        let status = match status_pick {
+            0 => ApStatus::Healthy,
+            1 => ApStatus::Degraded,
+            _ => ApStatus::Down,
+        };
+        let frame = Frame::Fix {
+            x,
+            y,
+            likelihood: 1.5f64 * 10f64.powi(exp),
+            health: (0..n_aps)
+                .map(|i| ApHealthReport {
+                    ap_id: i as u32,
+                    status,
+                    consecutive_failures: fails,
+                })
+                .collect(),
+        };
+        roundtrip_exact(&frame);
+    }
+
+    /// Every simple frame type round-trips for arbitrary field values.
+    #[test]
+    fn simple_frames_roundtrip(
+        a in 0u32..u32::MAX,
+        b in 0u64..u64::MAX,
+        c in 0usize..10_000,
+    ) {
+        roundtrip_exact(&Frame::ReportFailure { ap_id: a });
+        roundtrip_exact(&Frame::Localize { deadline_ms: a });
+        roundtrip_exact(&Frame::ClearSession);
+        roundtrip_exact(&Frame::Ping { token: b });
+        roundtrip_exact(&Frame::SubmitAck { observations: a });
+        roundtrip_exact(&Frame::Overloaded { retry_after_ms: a });
+        roundtrip_exact(&Frame::DeadlineExceeded);
+        roundtrip_exact(&Frame::Pong { token: b });
+        roundtrip_exact(&Frame::ShuttingDown);
+        roundtrip_exact(&Frame::Failed { error: LocalizeError::NoObservations });
+        roundtrip_exact(&Frame::Failed {
+            error: LocalizeError::QuorumNotMet {
+                available: c,
+                required: c + 1,
+                stale: c / 2,
+                down: c / 3,
+                degenerate: c / 5,
+            },
+        });
+        roundtrip_exact(&Frame::Failed {
+            error: LocalizeError::ResolutionMismatch {
+                observation: c,
+                bins: c + 8,
+                expected: c + 16,
+            },
+        });
+    }
+
+    /// Protocol-error messages survive the trip (ASCII subset; the
+    /// encoder truncates at u16::MAX and re-reads as lossy UTF-8).
+    #[test]
+    fn protocol_error_roundtrips(
+        code_raw in 0u32..256,
+        msg_len in 0usize..200,
+        fill in 32u8..127,
+    ) {
+        let code = code_raw as u8;
+        let frame = Frame::ProtocolError {
+            code,
+            message: String::from_utf8(vec![fill; msg_len]).unwrap(),
+        };
+        roundtrip_exact(&frame);
+    }
+}

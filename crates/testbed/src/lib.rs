@@ -17,7 +17,9 @@
 //! - [`acquire`]: the same capture path run under an injected
 //!   `at_core::faults::FaultPlan`, with retry/timeout semantics and typed
 //!   errors — the apparatus behind the robustness tier and the Fig. 14-style
-//!   accuracy-vs-failures curves.
+//!   accuracy-vs-failures curves;
+//! - [`serve`]: the wire bridge — build an `at-serve` location service
+//!   from a deployment and push captured spectra to it over TCP.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod deployment;
 pub mod experiments;
 pub mod metrics;
 pub mod office;
+pub mod serve;
 pub mod stream;
 
 pub use acquire::{
@@ -39,4 +42,5 @@ pub use experiments::{
     ExperimentConfig,
 };
 pub use metrics::ErrorStats;
+pub use serve::{serve_deployment, service_config, submit_position};
 pub use stream::{run_stream, FixEvent, StreamClient, StreamConfig, StreamReport};

@@ -18,6 +18,10 @@
 //!   tracking;
 //! - [`testbed`] — the simulated 41-client / 6-AP office, experiment
 //!   sweeps, metrics, baselines and the live streaming loop;
+//! - [`serve`] — the networked location service: binary wire protocol,
+//!   thread-pool TCP server with admission control, deadlines and
+//!   request batching, and a blocking client (see DESIGN.md §4g and
+//!   `examples/serve_demo.rs`);
 //! - [`obs`] — structured tracing spans and the lock-free metrics
 //!   registry every pipeline stage reports into (see DESIGN.md
 //!   §Observability).
@@ -67,4 +71,5 @@ pub use at_dsp as dsp;
 pub use at_frontend as frontend;
 pub use at_linalg as linalg;
 pub use at_obs as obs;
+pub use at_serve as serve;
 pub use at_testbed as testbed;
