@@ -111,6 +111,38 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
+fn bench_planar_kernels(c: &mut Criterion) {
+    use at_core::steering::SteeringTable;
+    use at_core::{LocalizationEngine, LocalizeScratch};
+    use at_linalg::NoiseSubspace;
+
+    // The SoA MUSIC sweep: aᴴ·E_N·E_Nᴴ·a over split re/im slabs for all
+    // 720 steering vectors — the inner loop of every spectrum scan.
+    let rxx = sample_rxx();
+    let eig = eigh(&rxx).unwrap();
+    let noise = NoiseSubspace::from_eigen(&eig, 3);
+    let table = SteeringTable::new(8, 720);
+    c.bench_function("planar_music_sweep_720_bins", |b| {
+        b.iter(|| black_box(&table).scan_projection(black_box(&noise)))
+    });
+
+    // The warm query with an explicit scratch arena: after the first
+    // iteration every buffer has grown to shape, so this is the
+    // steady-state allocation-free path the serving layer runs.
+    let (observations, region) = synthesis_fixture();
+    let poses: Vec<ApPose> = observations.iter().map(|o| o.pose).collect();
+    let engine = LocalizationEngine::new(&poses, region, 720);
+    let obs: Vec<(usize, &AoaSpectrum)> = observations
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (i, &o.spectrum))
+        .collect();
+    let mut scratch = LocalizeScratch::new();
+    c.bench_function("engine_localize_warm_scratch", |b| {
+        b.iter(|| black_box(&engine).localize_with(black_box(&obs), &mut scratch))
+    });
+}
+
 fn bench_estimators(c: &mut Criterion) {
     use at_core::estimators::{bartlett_spectrum_from_rxx, mvdr_spectrum_from_rxx};
     let rxx = sample_rxx();
@@ -173,7 +205,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_eig, bench_music, bench_correlation_matrix,
-              bench_synthesis, bench_engine, bench_detector, bench_channel,
-              bench_estimators, bench_tracker
+              bench_synthesis, bench_engine, bench_planar_kernels,
+              bench_detector, bench_channel, bench_estimators, bench_tracker
 }
 criterion_main!(benches);

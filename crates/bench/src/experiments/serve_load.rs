@@ -24,7 +24,10 @@ use at_channel::geometry::pt;
 use at_core::health::HealthPolicy;
 use at_core::synthesis::SearchRegion;
 use at_core::AoaSpectrum;
-use at_serve::{spawn, BatchPolicy, Client, ClientConfig, ClientError, ServeConfig, ServiceConfig};
+use at_serve::{
+    spawn, AdaptivePolicy, BatchPolicy, Client, ClientConfig, ClientError, ServeConfig,
+    ServiceConfig,
+};
 use at_testbed::office;
 use std::io::Write as _;
 use std::net::SocketAddr;
@@ -98,6 +101,7 @@ fn primed_client(
 
 struct SustainedResult {
     clients: usize,
+    workers: usize,
     responses: usize,
     seconds: f64,
     rps: f64,
@@ -110,13 +114,15 @@ struct SustainedResult {
 /// each, against a production-shaped server.
 fn run_sustained(report: &Report, clients: usize, per_client: usize) -> SustainedResult {
     let service = office_service();
+    let cfg_workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(4);
     let cfg = ServeConfig {
-        workers: std::thread::available_parallelism()
-            .map(|n| n.get().clamp(2, 8))
-            .unwrap_or(4),
+        workers: cfg_workers,
         admission_depth: 128,
         exec_depth: 8,
         batch: BatchPolicy::default(),
+        adaptive: Some(AdaptivePolicy::default()),
         retry_after_ms: 5,
     };
     let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
@@ -152,6 +158,7 @@ fn run_sustained(report: &Report, clients: usize, per_client: usize) -> Sustaine
 
     let result = SustainedResult {
         clients,
+        workers: cfg_workers,
         responses: latencies.len(),
         seconds,
         rps: latencies.len() as f64 / seconds,
@@ -185,6 +192,7 @@ fn run_overload(report: &Report, clients: usize, per_client: usize) -> OverloadR
             window: Duration::from_millis(1),
             max_batch: 2,
         },
+        adaptive: None,
         retry_after_ms: 5,
     };
     let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
@@ -250,6 +258,7 @@ fn run_drain(report: &Report) -> bool {
             window: Duration::from_millis(300),
             max_batch: 8,
         },
+        adaptive: None,
         ..ServeConfig::default()
     };
     let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
@@ -272,9 +281,15 @@ fn write_json(
     overload: &OverloadResult,
     drained: bool,
 ) -> std::io::Result<()> {
+    // Host context rides along so the committed numbers can be traced to
+    // the machine that produced them: the ROADMAP's "multi-core loadgen
+    // baseline" item asks for a re-baseline whenever this repo's numbers
+    // were taken on a single core and the current host has more.
     let json = format!(
-        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  \"sustained\": {{ \"clients\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
+        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  {},\n  \"sustained\": {{ \"clients\": {}, \"workers\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
+        crate::experiments::perf::host_context_json(),
         sustained.clients,
+        sustained.workers,
         sustained.responses,
         sustained.seconds,
         sustained.rps,

@@ -41,6 +41,8 @@ use crate::synthesis::{
     hill_climb, likelihood, ApObservation, ApPose, Heatmap, LocationEstimate, SearchRegion,
     LIKELIHOOD_FLOOR,
 };
+use at_channel::geometry::Point;
+use std::cell::RefCell;
 use std::f64::consts::TAU;
 
 /// Coarse block edge length the engine targets, meters.
@@ -53,6 +55,115 @@ const CANDIDATE_CELLS: usize = 8;
 
 /// Hill-climb starts (paper §2.5: "the three highest-likelihood cells").
 const HILL_CLIMB_STARTS: usize = 3;
+
+/// Gauge name: heap bytes retained by localize scratch arenas (set when an
+/// arena grows; steady-state queries never touch it).
+pub const SCRATCH_BYTES_GAUGE: &str = "at_localize_scratch_bytes";
+
+/// Counter name: scratch arena growth events. Zero growth per interval
+/// means the warm path is allocation-free.
+pub const SCRATCH_GROW_COUNTER: &str = "at_localize_scratch_grow_total";
+
+/// A reusable per-worker workspace for engine queries.
+///
+/// Everything a query needs to allocate — normalized spectrum copies for
+/// exact re-evaluation, flat log-likelihood LUTs, block bounds, the
+/// best-first ordering, the candidate heap, and the planar row
+/// accumulator — lives here and is recycled between queries. After the
+/// first query of a given shape (observation count × spectrum bins), a
+/// repeat query performs **zero** heap allocations (the
+/// `zero_alloc` integration test pins this down with a counting
+/// allocator).
+///
+/// Ownership model: one scratch per *thread of execution*. Engine entry
+/// points that don't take a scratch borrow a thread-local default, so
+/// every caller gets recycling for free; the serve tier's exec workers and
+/// `fuse_batch` pass explicit arenas. A scratch is bound to no particular
+/// engine — it adapts to whatever engine/query shape it is used with,
+/// growing monotonically to the largest shape seen.
+#[derive(Clone, Debug, Default)]
+pub struct LocalizeScratch {
+    /// Normalized owned observations for exact re-evaluation / hill climb
+    /// (slot `i` is recycled in place; only the first `n` are live).
+    exact: Vec<ApObservation>,
+    /// Flat per-observation log-likelihood LUTs, `n × bins` row-major.
+    luts: Vec<f64>,
+    /// AP index of each LUT row.
+    lut_aps: Vec<usize>,
+    /// Per coarse block: accumulated likelihood upper bound.
+    bounds: Vec<f64>,
+    /// Blocks ordered by bound, best first.
+    order: Vec<(f64, usize)>,
+    /// Current top cells, ascending by quantized score.
+    top: Vec<(f64, usize)>,
+    /// Exact re-evaluated candidates, descending by likelihood.
+    cells: Vec<(Point, f64)>,
+    /// One block row of AP-major planar accumulation.
+    row_acc: Vec<f64>,
+    /// Footprint last published to the scratch gauge.
+    reported: usize,
+}
+
+impl LocalizeScratch {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently retained by the workspace's buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        let spectra: usize = self
+            .exact
+            .iter()
+            .map(|o| o.spectrum.bins() * std::mem::size_of::<f64>())
+            .sum();
+        spectra
+            + self.exact.capacity() * std::mem::size_of::<ApObservation>()
+            + self.luts.capacity() * std::mem::size_of::<f64>()
+            + self.lut_aps.capacity() * std::mem::size_of::<usize>()
+            + self.bounds.capacity() * std::mem::size_of::<f64>()
+            + self.order.capacity() * std::mem::size_of::<(f64, usize)>()
+            + self.top.capacity() * std::mem::size_of::<(f64, usize)>()
+            + self.cells.capacity() * std::mem::size_of::<(Point, f64)>()
+            + self.row_acc.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// The most recent query's exact candidates, descending by likelihood.
+    fn candidates(&self) -> &[(Point, f64)] {
+        &self.cells
+    }
+
+    /// Publishes the footprint gauge when (and only when) the arena grew —
+    /// the steady state compares two integers and does nothing else.
+    fn note_growth(&mut self) {
+        let bytes = self.footprint_bytes();
+        if bytes != self.reported {
+            self.reported = bytes;
+            at_obs::metrics::global()
+                .gauge(SCRATCH_BYTES_GAUGE, &[])
+                .set(bytes as f64);
+            at_obs::count!(SCRATCH_GROW_COUNTER);
+        }
+    }
+}
+
+thread_local! {
+    /// The default workspace engine entry points use when the caller
+    /// doesn't pass one: per-thread, so the public API stays
+    /// allocation-free after warm-up without threading scratch through
+    /// every call site.
+    static DEFAULT_SCRATCH: RefCell<LocalizeScratch> = RefCell::new(LocalizeScratch::new());
+}
+
+/// Runs `f` with the calling thread's default scratch. Falls back to a
+/// fresh workspace if the thread-local is already borrowed (re-entrant
+/// use through a callback).
+pub(crate) fn with_default_scratch<R>(f: impl FnOnce(&mut LocalizeScratch) -> R) -> R {
+    DEFAULT_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut LocalizeScratch::new()),
+    })
+}
 
 /// A reusable, deployment-bound localization engine.
 ///
@@ -70,11 +181,13 @@ pub struct LocalizationEngine {
     stride: usize,
     bx: usize,
     by: usize,
-    /// Per AP: spectrum-bin index of each cell's bearing, row-major.
-    fine: Vec<Vec<u16>>,
-    /// Per AP: per block, the dilated circular bin interval `(start, len)`
-    /// covering every cell bearing in the block.
-    blocks: Vec<Vec<(u16, u16)>>,
+    /// Spectrum-bin index of each cell's bearing: one contiguous AP-major
+    /// slab, `fine[ap · nx·ny + iy · nx + ix]`. Row segments are
+    /// contiguous, so the fusion inner loop streams them planar, AP by AP.
+    fine: Vec<u16>,
+    /// Dilated circular bin interval `(start, len)` covering every cell
+    /// bearing of a block, AP-major: `blocks[ap · bx·by + block]`.
+    blocks: Vec<(u16, u16)>,
 }
 
 impl LocalizationEngine {
@@ -96,43 +209,40 @@ impl LocalizationEngine {
         let bx = nx.div_ceil(stride);
         let by = ny.div_ceil(stride);
 
-        // Bearing grids, one AP at a time, rows in parallel.
+        // Bearing grids, one AP at a time, rows in parallel, concatenated
+        // into one AP-major slab.
         let rows: Vec<usize> = (0..ny).collect();
         let threads = available_threads();
-        let fine: Vec<Vec<u16>> = poses
-            .iter()
-            .map(|pose| {
-                parallel_map(&rows, threads, |_, &iy| {
-                    (0..nx)
-                        .map(|ix| {
-                            let theta = pose.bearing_to(region.cell_center(ix, iy));
-                            (((theta / TAU) * bins as f64).round() as usize % bins) as u16
-                        })
-                        .collect::<Vec<u16>>()
-                })
-                .concat()
+        let mut fine: Vec<u16> = Vec::with_capacity(poses.len() * nx * ny);
+        for pose in poses {
+            let grid = parallel_map(&rows, threads, |_, &iy| {
+                (0..nx)
+                    .map(|ix| {
+                        let theta = pose.bearing_to(region.cell_center(ix, iy));
+                        (((theta / TAU) * bins as f64).round() as usize % bins) as u16
+                    })
+                    .collect::<Vec<u16>>()
             })
-            .collect();
+            .concat();
+            fine.extend_from_slice(&grid);
+        }
 
-        // Coarse block intervals from the fine grids.
-        let blocks = fine
-            .iter()
-            .map(|grid| {
-                let mut out = Vec::with_capacity(bx * by);
-                for byi in 0..by {
-                    for bxi in 0..bx {
-                        let mut cell_bins = Vec::with_capacity(stride * stride);
-                        for iy in (byi * stride)..((byi + 1) * stride).min(ny) {
-                            for ix in (bxi * stride)..((bxi + 1) * stride).min(nx) {
-                                cell_bins.push(grid[iy * nx + ix]);
-                            }
+        // Coarse block intervals from the fine grids, AP-major.
+        let mut blocks: Vec<(u16, u16)> = Vec::with_capacity(poses.len() * bx * by);
+        for ap in 0..poses.len() {
+            let grid = &fine[ap * nx * ny..(ap + 1) * nx * ny];
+            for byi in 0..by {
+                for bxi in 0..bx {
+                    let mut cell_bins = Vec::with_capacity(stride * stride);
+                    for iy in (byi * stride)..((byi + 1) * stride).min(ny) {
+                        for ix in (bxi * stride)..((bxi + 1) * stride).min(nx) {
+                            cell_bins.push(grid[iy * nx + ix]);
                         }
-                        out.push(circular_cover(&mut cell_bins, bins));
                     }
+                    blocks.push(circular_cover(&mut cell_bins, bins));
                 }
-                out
-            })
-            .collect();
+            }
+        }
 
         Self {
             region,
@@ -172,7 +282,7 @@ impl LocalizationEngine {
     /// AP `ap` (diagnostic accessor; the quantization unit tests check its
     /// error stays within half a bin).
     pub fn bearing_bin(&self, ap: usize, ix: usize, iy: usize) -> usize {
-        self.fine[ap][iy * self.nx + ix] as usize
+        self.fine[ap * self.nx * self.ny + iy * self.nx + ix] as usize
     }
 
     /// Localizes a client from `(AP index, processed spectrum)` pairs — any
@@ -180,22 +290,58 @@ impl LocalizationEngine {
     ///
     /// Equivalent to [`crate::synthesis::localize`] over the same
     /// observations (same top cells, same hill climb), but via the
-    /// precomputed caches and coarse-to-fine search.
+    /// precomputed caches and coarse-to-fine search. Uses the calling
+    /// thread's default [`LocalizeScratch`], so repeat queries allocate
+    /// nothing; pass an explicit arena via
+    /// [`Self::localize_with`] to control pooling.
     pub fn localize(&self, observations: &[(usize, &AoaSpectrum)]) -> LocationEstimate {
-        assert!(!observations.is_empty(), "need at least one AP observation");
-        let _t = at_obs::time_stage!(at_obs::stages::FUSION, "aps" => observations.len());
-        let exact = self.exact_observations(observations);
-        let starts = self.top_candidates_inner(observations, &exact, HILL_CLIMB_STARTS);
+        with_default_scratch(|scratch| self.localize_with(observations, scratch))
+    }
+
+    /// [`Self::localize`] with a caller-owned workspace (zero heap
+    /// allocations once `scratch` has warmed to the query shape).
+    pub fn localize_with(
+        &self,
+        observations: &[(usize, &AoaSpectrum)],
+        scratch: &mut LocalizeScratch,
+    ) -> LocationEstimate {
+        self.localize_indexed(observations.len(), &|i| observations[i], scratch)
+    }
+
+    /// The accessor-based core of [`Self::localize`]: observations are
+    /// supplied as `get(i) -> (AP index, spectrum)` for `i < n`, so callers
+    /// (the fusion pipeline, the serve tier) can feed borrowed spectra
+    /// straight from their own storage without materializing a slice.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, any AP index is out of range, or any spectrum's
+    /// resolution differs from the engine's.
+    pub fn localize_indexed<'a, F>(
+        &self,
+        n: usize,
+        get: &F,
+        scratch: &mut LocalizeScratch,
+    ) -> LocationEstimate
+    where
+        F: Fn(usize) -> (usize, &'a AoaSpectrum),
+    {
+        assert!(n > 0, "need at least one AP observation");
+        let _t = at_obs::time_stage!(at_obs::stages::FUSION, "aps" => n);
+        self.fill_exact(n, get, scratch);
+        self.search_core(n, get, HILL_CLIMB_STARTS, scratch);
+        let exact = &scratch.exact[..n];
+        let starts = scratch.candidates();
         let mut best = LocationEstimate {
             position: starts[0].0,
             likelihood: starts[0].1,
         };
-        for (start, _) in starts {
-            let refined = hill_climb(&exact, start, self.region);
+        for &(start, _) in starts {
+            let refined = hill_climb(exact, start, self.region);
             if refined.likelihood > best.likelihood {
                 best = refined;
             }
         }
+        scratch.note_growth();
         best
     }
 
@@ -206,130 +352,214 @@ impl LocalizationEngine {
         &self,
         observations: &[(usize, &AoaSpectrum)],
         k: usize,
-    ) -> Vec<(at_channel::geometry::Point, f64)> {
+    ) -> Vec<(Point, f64)> {
         assert!(!observations.is_empty(), "need at least one AP observation");
-        let exact = self.exact_observations(observations);
-        self.top_candidates_inner(observations, &exact, k)
+        with_default_scratch(|scratch| {
+            let get = |i: usize| observations[i];
+            self.fill_exact(observations.len(), &get, scratch);
+            self.search_core(observations.len(), &get, k, scratch);
+            scratch.note_growth();
+            scratch.candidates().to_vec()
+        })
     }
 
     /// Fills the full fine-grid heatmap (Fig. 14's rendering data) from the
-    /// bearing caches, one row per parallel work item. Values use the
+    /// bearing caches, one row per parallel work item with AP-major planar
+    /// accumulation over the contiguous bin-index slabs. Values use the
     /// quantized (nearest-bin) spectra, which is what a visualization
     /// needs; the exhaustive-interpolating reference is
     /// [`crate::synthesis::heatmap`].
     pub fn heatmap(&self, observations: &[(usize, &AoaSpectrum)]) -> Heatmap {
         assert!(!observations.is_empty(), "need at least one AP observation");
-        let luts = self.log_luts(observations);
-        let rows: Vec<usize> = (0..self.ny).collect();
-        let values = parallel_map(&rows, available_threads(), |_, &iy| {
-            (0..self.nx)
-                .map(|ix| self.cell_score(&luts, iy * self.nx + ix).exp())
-                .collect::<Vec<f64>>()
+        with_default_scratch(|scratch| {
+            let get = |i: usize| observations[i];
+            self.fill_luts(observations.len(), &get, scratch);
+            let luts = &scratch.luts;
+            let lut_aps = &scratch.lut_aps;
+            let (bins, ncells) = (self.bins, self.nx * self.ny);
+            let rows: Vec<usize> = (0..self.ny).collect();
+            let values = parallel_map(&rows, available_threads(), |_, &iy| {
+                let mut row = vec![0.0f64; self.nx];
+                for (j, &ap) in lut_aps.iter().enumerate() {
+                    let lut = &luts[j * bins..(j + 1) * bins];
+                    let seg_start = ap * ncells + iy * self.nx;
+                    let seg = &self.fine[seg_start..seg_start + self.nx];
+                    for (acc, &bin) in row.iter_mut().zip(seg) {
+                        *acc += lut[bin as usize];
+                    }
+                }
+                for v in &mut row {
+                    *v = v.exp();
+                }
+                row
+            })
+            .concat();
+            Heatmap {
+                region: self.region,
+                values,
+                nx: self.nx,
+                ny: self.ny,
+            }
         })
-        .concat();
-        Heatmap {
-            region: self.region,
-            values,
-            nx: self.nx,
-            ny: self.ny,
+    }
+
+    /// Recycles `scratch.exact[..n]` into normalized owned observations
+    /// for exact re-evaluation / hill climb (mirrors
+    /// `synthesis::normalize_observations`, reusing each slot's spectrum
+    /// allocation when the resolution matches).
+    fn fill_exact<'a, F>(&self, n: usize, get: &F, scratch: &mut LocalizeScratch)
+    where
+        F: Fn(usize) -> (usize, &'a AoaSpectrum),
+    {
+        for i in 0..n {
+            let (ap, spectrum) = get(i);
+            assert!(ap < self.poses.len(), "AP index {ap} out of range");
+            assert_eq!(
+                spectrum.bins(),
+                self.bins,
+                "spectrum resolution doesn't match the engine's bearing grids"
+            );
+            let pose = self.poses[ap];
+            match scratch.exact.get_mut(i) {
+                Some(slot) if slot.spectrum.bins() == spectrum.bins() => {
+                    slot.pose = pose;
+                    slot.spectrum.copy_normalized_from(spectrum);
+                }
+                Some(slot) => {
+                    *slot = ApObservation {
+                        pose,
+                        spectrum: spectrum.normalized(),
+                    };
+                }
+                None => scratch.exact.push(ApObservation {
+                    pose,
+                    spectrum: spectrum.normalized(),
+                }),
+            }
         }
     }
 
-    /// Normalized owned observations for exact re-evaluation / hill climb
-    /// (mirrors `synthesis::normalize_observations`).
-    fn exact_observations(&self, observations: &[(usize, &AoaSpectrum)]) -> Vec<ApObservation> {
-        observations
-            .iter()
-            .map(|&(ap, spectrum)| {
-                assert!(ap < self.poses.len(), "AP index {ap} out of range");
-                assert_eq!(
-                    spectrum.bins(),
-                    self.bins,
-                    "spectrum resolution doesn't match the engine's bearing grids"
-                );
-                ApObservation {
-                    pose: self.poses[ap],
-                    spectrum: spectrum.normalized(),
-                }
-            })
-            .collect()
-    }
-
-    /// Per-AP log-likelihood LUTs: `ln(max(P[bin]/max(P), floor))`.
-    fn log_luts(&self, observations: &[(usize, &AoaSpectrum)]) -> Vec<(usize, Vec<f64>)> {
-        observations
-            .iter()
-            .map(|&(ap, spectrum)| {
-                assert!(ap < self.poses.len(), "AP index {ap} out of range");
-                assert_eq!(
-                    spectrum.bins(),
-                    self.bins,
-                    "spectrum resolution doesn't match the engine's bearing grids"
-                );
-                let max = spectrum.max_value();
-                let scale = if max > 0.0 { 1.0 / max } else { 1.0 };
-                let lut = spectrum
+    /// Fills the flat per-observation log-likelihood LUTs
+    /// `ln(max(P[bin]/max(P), floor))` into `scratch.luts` /
+    /// `scratch.lut_aps`.
+    fn fill_luts<'a, F>(&self, n: usize, get: &F, scratch: &mut LocalizeScratch)
+    where
+        F: Fn(usize) -> (usize, &'a AoaSpectrum),
+    {
+        scratch.luts.clear();
+        scratch.lut_aps.clear();
+        for i in 0..n {
+            let (ap, spectrum) = get(i);
+            assert!(ap < self.poses.len(), "AP index {ap} out of range");
+            assert_eq!(
+                spectrum.bins(),
+                self.bins,
+                "spectrum resolution doesn't match the engine's bearing grids"
+            );
+            let max = spectrum.max_value();
+            let scale = if max > 0.0 { 1.0 / max } else { 1.0 };
+            scratch.luts.extend(
+                spectrum
                     .values()
                     .iter()
-                    .map(|&v| (v * scale).max(LIKELIHOOD_FLOOR).ln())
-                    .collect();
-                (ap, lut)
-            })
-            .collect()
+                    .map(|&v| (v * scale).max(LIKELIHOOD_FLOOR).ln()),
+            );
+            scratch.lut_aps.push(ap);
+        }
     }
 
-    /// Quantized log-likelihood of one fine cell.
-    fn cell_score(&self, luts: &[(usize, Vec<f64>)], cell: usize) -> f64 {
-        luts.iter()
-            .map(|(ap, lut)| lut[self.fine[*ap][cell] as usize])
-            .sum()
-    }
-
-    /// Upper bound of the quantized *and* interpolated log-likelihood over
-    /// every cell of one coarse block.
-    fn block_bound(&self, luts: &[(usize, Vec<f64>)], block: usize) -> f64 {
-        luts.iter()
-            .map(|(ap, lut)| {
-                let (start, len) = self.blocks[*ap][block];
-                let (start, len) = (start as usize, len as usize);
-                let mut m = f64::NEG_INFINITY;
-                for i in 0..len {
-                    m = m.max(lut[(start + i) % self.bins]);
-                }
-                m
-            })
-            .sum()
-    }
-
-    /// Best-first coarse-to-fine search returning the top-`k` cells by
-    /// exact likelihood.
-    fn top_candidates_inner(
-        &self,
-        observations: &[(usize, &AoaSpectrum)],
-        exact: &[ApObservation],
-        k: usize,
-    ) -> Vec<(at_channel::geometry::Point, f64)> {
-        let luts = self.log_luts(observations);
+    /// Best-first coarse-to-fine search leaving the top-`k` cells by exact
+    /// likelihood, descending, in `scratch.cells`. Requires
+    /// [`Self::fill_exact`] to have populated `scratch.exact[..n]`.
+    fn search_core<'a, F>(&self, n: usize, get: &F, k: usize, scratch: &mut LocalizeScratch)
+    where
+        F: Fn(usize) -> (usize, &'a AoaSpectrum),
+    {
+        self.fill_luts(n, get, scratch);
         let keep = CANDIDATE_CELLS.max(k).min(self.nx * self.ny);
+        let (bins, ncells, nblocks) = (self.bins, self.nx * self.ny, self.bx * self.by);
+        let LocalizeScratch {
+            exact,
+            luts,
+            lut_aps,
+            bounds,
+            order,
+            top,
+            cells,
+            row_acc,
+            ..
+        } = scratch;
 
-        // Score every coarse block by its likelihood upper bound.
-        let mut order: Vec<(f64, usize)> = (0..self.bx * self.by)
-            .map(|b| (self.block_bound(&luts, b), b))
-            .collect();
+        // Upper-bound every coarse block, AP-major: each observation adds
+        // its dilated-interval max into the per-block accumulator, walking
+        // its own contiguous interval slab. The per-block sum order is the
+        // observation order, so bounds are bit-identical to the previous
+        // cell-major fold.
+        bounds.clear();
+        bounds.resize(nblocks, 0.0);
+        for (j, &ap) in lut_aps.iter().enumerate() {
+            let lut = &luts[j * bins..(j + 1) * bins];
+            let intervals = &self.blocks[ap * nblocks..(ap + 1) * nblocks];
+            for (acc, &(start, len)) in bounds.iter_mut().zip(intervals) {
+                let (start, len) = (start as usize, len as usize);
+                // A circular interval is at most two contiguous runs; max
+                // is order-independent, so splitting keeps bounds
+                // bit-identical while the scan stays branch-free and
+                // vectorizable (no per-element modulo).
+                let mut m = f64::NEG_INFINITY;
+                let end = start + len;
+                if end <= bins {
+                    for &v in &lut[start..end] {
+                        m = m.max(v);
+                    }
+                } else {
+                    for &v in &lut[start..bins] {
+                        m = m.max(v);
+                    }
+                    for &v in &lut[..end - bins] {
+                        m = m.max(v);
+                    }
+                }
+                *acc += m;
+            }
+        }
+
+        // Score order: best bound first.
+        order.clear();
+        order.extend(bounds.iter().enumerate().map(|(b, &s)| (s, b)));
         order.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite bounds"));
 
         // Refine best-first: expand blocks into fine cells until no
         // unrefined block's bound can beat the current `keep`-th cell.
-        let mut top: Vec<(f64, usize)> = Vec::with_capacity(keep + 1); // ascending
-        for &(bound, b) in &order {
+        // Each block row is scored by AP-major planar accumulation over
+        // the contiguous `fine` row segments (log-domain adds into one
+        // cache-resident row accumulator).
+        if row_acc.len() < self.stride {
+            row_acc.resize(self.stride, 0.0);
+        }
+        top.clear();
+        for &(bound, b) in order.iter() {
             if top.len() == keep && bound <= top[0].0 {
                 break;
             }
             let (bxi, byi) = (b % self.bx, b / self.bx);
-            for iy in (byi * self.stride)..((byi + 1) * self.stride).min(self.ny) {
-                for ix in (bxi * self.stride)..((bxi + 1) * self.stride).min(self.nx) {
-                    let cell = iy * self.nx + ix;
-                    let s = self.cell_score(&luts, cell);
+            let x0 = bxi * self.stride;
+            let x1 = ((bxi + 1) * self.stride).min(self.nx);
+            let y0 = byi * self.stride;
+            let y1 = ((byi + 1) * self.stride).min(self.ny);
+            for iy in y0..y1 {
+                let acc = &mut row_acc[..x1 - x0];
+                acc.fill(0.0);
+                for (j, &ap) in lut_aps.iter().enumerate() {
+                    let lut = &luts[j * bins..(j + 1) * bins];
+                    let seg_start = ap * ncells + iy * self.nx;
+                    let seg = &self.fine[seg_start + x0..seg_start + x1];
+                    for (a, &bin) in acc.iter_mut().zip(seg) {
+                        *a += lut[bin as usize];
+                    }
+                }
+                for (dx, &s) in acc.iter().enumerate() {
+                    let cell = iy * self.nx + x0 + dx;
                     if top.len() < keep {
                         top.push((s, cell));
                         top.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -345,17 +575,22 @@ impl LocalizationEngine {
             }
         }
 
-        // Exact re-evaluation of the survivors, then the final ordering.
-        let mut cells: Vec<(at_channel::geometry::Point, f64)> = top
-            .into_iter()
-            .map(|(_, cell)| {
-                let p = self.region.cell_center(cell % self.nx, cell / self.nx);
-                (p, likelihood(exact, p))
-            })
-            .collect();
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite likelihoods"));
+        // Exact re-evaluation of the survivors, then the final ordering: a
+        // stable insertion sort, descending — the same permutation as the
+        // stable `sort_by` it replaces, without its merge buffer.
+        cells.clear();
+        for &(_, cell) in top.iter() {
+            let p = self.region.cell_center(cell % self.nx, cell / self.nx);
+            cells.push((p, likelihood(&exact[..n], p)));
+        }
+        for i in 1..cells.len() {
+            let mut j = i;
+            while j > 0 && cells[j].1 > cells[j - 1].1 {
+                cells.swap(j, j - 1);
+                j -= 1;
+            }
+        }
         cells.truncate(k);
-        cells
     }
 }
 

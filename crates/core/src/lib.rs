@@ -52,14 +52,15 @@ pub mod synthesis;
 pub mod tracking;
 pub mod weighting;
 
-pub use engine::LocalizationEngine;
+pub use engine::{LocalizationEngine, LocalizeScratch};
 pub use faults::{ApFaultProfile, FaultPlan};
 pub use health::{ApStatus, HealthPolicy, HealthTracker, LocalizeError};
 pub use music::{music_analysis, music_spectrum, MusicAnalysis, MusicConfig};
 pub use parallel::parallel_map;
 pub use pipeline::{
-    execute_fusion, fuse_batch, fuse_with_engine, plan_fusion, process_frame, process_frame_group,
-    ApPipelineConfig, ArrayTrackServer, FusedObservation, FusionPlan,
+    execute_fusion, fuse_batch, fuse_batch_into, fuse_with_engine, fuse_with_scratch, plan_fusion,
+    plan_fusion_indexed, process_frame, process_frame_group, ApPipelineConfig, ArrayTrackServer,
+    FusedObservation, FusionPlan, FusionScratch,
 };
 pub use spectrum::{AoaSpectrum, Peak};
 pub use suppression::{suppress_multipath, SuppressionConfig};

@@ -16,7 +16,7 @@ use crate::smoothing::{spatial_smooth, spatial_smooth_fb};
 use crate::spectrum::AoaSpectrum;
 use crate::steering::SteeringTable;
 use at_dsp::SnapshotBlock;
-use at_linalg::{eigh, CMatrix};
+use at_linalg::{eigh, CMatrix, NoiseSubspace};
 use std::borrow::Cow;
 use std::f64::consts::TAU;
 
@@ -84,21 +84,20 @@ pub fn music_analysis_from_rxx(rxx: &CMatrix, cfg: &MusicConfig) -> MusicAnalysi
     let ms = smoothed.rows();
     assert!(ms >= 2, "need at least two effective antennas");
 
-    let (q, eigenvalues, d) = {
+    let (noise, eigenvalues, d) = {
         let _t = at_obs::time_stage!(at_obs::stages::MUSIC_EIG);
-        noise_projector(&smoothed, cfg.eigenvalue_threshold)
+        noise_subspace(&smoothed, cfg.eigenvalue_threshold)
     };
 
     // Pseudospectrum over [0, π], mirrored to the full circle (a plain ULA
-    // cannot distinguish the sides; §2.3.4 handles that separately), using
-    // the shared precomputed steering vectors.
+    // cannot distinguish the sides; §2.3.4 handles that separately). The
+    // shared table's split re/im slabs feed one batched
+    // `aᴴ·E_N·E_Nᴴ·a` kernel call for the whole sweep — no per-bin
+    // matrix–vector product or `CVector` temporaries.
     let table = SteeringTable::shared(ms, cfg.bins);
     let spectrum = {
         let _t = at_obs::time_stage!(at_obs::stages::MUSIC_SCAN);
-        table.scan(|a| {
-            let qa = q.mul_vec(a);
-            1.0 / a.dot(&qa).re.max(1e-12)
-        })
+        table.scan_projection(&noise)
     };
 
     MusicAnalysis {
@@ -109,11 +108,13 @@ pub fn music_analysis_from_rxx(rxx: &CMatrix, cfg: &MusicConfig) -> MusicAnalysi
     }
 }
 
-/// Eigendecomposes a correlation matrix and builds the noise-subspace
-/// projector `Q = E_N·E_Nᴴ`: returns `(Q, eigenvalues, D)` with the source
+/// Eigendecomposes a correlation matrix and extracts the noise subspace
+/// `E_N` in SoA layout: returns `(E_N, eigenvalues, D)` with the source
 /// count `D` clamped so at least one noise dimension remains (MUSIC needs a
-/// noise subspace). Shared by the ULA and arbitrary-layout paths.
-fn noise_projector(rxx: &CMatrix, eigenvalue_threshold: f64) -> (CMatrix, Vec<f64>, usize) {
+/// noise subspace). Shared by the ULA and arbitrary-layout paths. The
+/// projector `Q = E_N·E_Nᴴ` is never materialized — the scan evaluates
+/// `aᴴ·Q·a = Σ_k |e_kᴴ·a|²` directly from the eigenvectors.
+fn noise_subspace(rxx: &CMatrix, eigenvalue_threshold: f64) -> (NoiseSubspace, Vec<f64>, usize) {
     let ms = rxx.rows();
     let eig = eigh(rxx).expect("correlation matrices are Hermitian");
     let lmax = eig.eigenvalues[0].max(0.0);
@@ -130,12 +131,8 @@ fn noise_projector(rxx: &CMatrix, eigenvalue_threshold: f64) -> (CMatrix, Vec<f6
         d = ms - 1;
     }
 
-    let mut q = CMatrix::zeros(ms, ms);
-    for k in d..ms {
-        let v = eig.eigenvector(k);
-        q.add_outer_assign(&v, 1.0);
-    }
-    (q, eig.eigenvalues, d)
+    let noise = NoiseSubspace::from_eigen(&eig, d);
+    (noise, eig.eigenvalues, d)
 }
 
 /// Convenience wrapper returning just the pseudospectrum.
@@ -160,17 +157,16 @@ pub fn music_analysis_positions(
     );
     let ms = rxx.rows();
     assert!(ms >= 2, "need at least two antennas");
-    let (q, eigenvalues, d) = {
+    let (noise, eigenvalues, d) = {
         let _t = at_obs::time_stage!(at_obs::stages::MUSIC_EIG);
-        noise_projector(rxx, cfg.eigenvalue_threshold)
+        noise_subspace(rxx, cfg.eigenvalue_threshold)
     };
     let bins = cfg.bins;
     let values = (0..bins)
         .map(|i| {
             let theta = i as f64 * TAU / bins as f64;
             let a = crate::steering::general_steering(positions, theta);
-            let qa = q.mul_vec(&a);
-            1.0 / a.dot(&qa).re.max(1e-12)
+            1.0 / noise.projection(&a).max(1e-12)
         })
         .collect();
     MusicAnalysis {

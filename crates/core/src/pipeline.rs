@@ -8,7 +8,7 @@
 //! optimized-vs-unoptimized comparisons (Figs. 13/15) and the ablation
 //! bench are expressed.
 
-use crate::engine::LocalizationEngine;
+use crate::engine::{LocalizationEngine, LocalizeScratch};
 use crate::health::{ApStatus, HealthPolicy, HealthTracker, LocalizeError};
 use crate::music::{music_analysis, MusicConfig};
 use crate::spectrum::AoaSpectrum;
@@ -152,16 +152,56 @@ pub struct FusedObservation<'a> {
 /// The survivors of policy filtering, ready for [`execute_fusion`]:
 /// indices into the planned observation slice plus their confidence
 /// weights.
-#[derive(Clone, Debug)]
+///
+/// Reusable: [`plan_fusion_indexed`] clears and refills the same plan, so
+/// a serving thread plans query after query without reallocating.
+#[derive(Clone, Debug, Default)]
 pub struct FusionPlan {
     picked: Vec<(usize, f64)>,
 }
 
 impl FusionPlan {
+    /// An empty plan, ready for [`plan_fusion_indexed`] to fill.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Number of observations that survived filtering.
     pub fn fused(&self) -> usize {
         self.picked.len()
     }
+}
+
+/// Reusable workspace for one fusion query: the [`FusionPlan`], owned
+/// storage for tempered (degraded-AP) spectra, and the engine's
+/// [`LocalizeScratch`]. One of these per serving thread makes the warm
+/// localize path allocation-free end to end.
+#[derive(Clone, Debug, Default)]
+pub struct FusionScratch {
+    plan: FusionPlan,
+    tempered: Vec<Option<AoaSpectrum>>,
+    engine: LocalizeScratch,
+}
+
+impl FusionScratch {
+    /// An empty workspace; it grows to the query shape on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static FUSION_SCRATCH: RefCell<FusionScratch> = RefCell::new(FusionScratch::new());
+}
+
+/// Runs `f` with the calling thread's default fusion workspace (the
+/// pool behind the non-`_scratch` entry points). Falls back to a fresh
+/// arena under re-entrancy rather than panicking.
+fn with_fusion_scratch<R>(f: impl FnOnce(&mut FusionScratch) -> R) -> R {
+    FUSION_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut FusionScratch::new()),
+    })
 }
 
 /// Filters and weights `obs` under the degradation policy, without
@@ -179,10 +219,38 @@ pub fn plan_fusion(
     health: &HealthTracker,
     policy: &HealthPolicy,
 ) -> Result<FusionPlan, LocalizeError> {
-    if obs.is_empty() {
+    let mut plan = FusionPlan::new();
+    plan_fusion_indexed(
+        obs.len(),
+        &|i| obs[i],
+        expected_bins,
+        health,
+        policy,
+        &mut plan,
+    )?;
+    Ok(plan)
+}
+
+/// The accessor-based, allocation-free core of [`plan_fusion`]:
+/// observations are supplied as `get(i)` for `i < n` and the survivors
+/// land in the caller's reusable `plan` (cleared first, even on error).
+pub fn plan_fusion_indexed<'a, F>(
+    n: usize,
+    get: &F,
+    expected_bins: usize,
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+    plan: &mut FusionPlan,
+) -> Result<(), LocalizeError>
+where
+    F: Fn(usize) -> FusedObservation<'a>,
+{
+    plan.picked.clear();
+    if n == 0 {
         return Err(LocalizeError::NoObservations);
     }
-    for (i, o) in obs.iter().enumerate() {
+    for i in 0..n {
+        let o = get(i);
         if o.spectrum.bins() != expected_bins {
             return Err(LocalizeError::ResolutionMismatch {
                 observation: i,
@@ -193,8 +261,8 @@ pub fn plan_fusion(
     }
 
     let (mut stale, mut down, mut degenerate) = (0usize, 0usize, 0usize);
-    let mut picked: Vec<(usize, f64)> = Vec::new();
-    for (i, o) in obs.iter().enumerate() {
+    for i in 0..n {
+        let o = get(i);
         if policy.is_stale(o.age) {
             stale += 1;
             at_obs::count!("at_observations_dropped_total", "reason" => "stale");
@@ -215,62 +283,118 @@ pub fn plan_fusion(
             }
             ApStatus::Degraded => {
                 at_obs::count!("at_observations_fused_total", "health" => "degraded");
-                picked.push((i, policy.degraded_weight));
+                plan.picked.push((i, policy.degraded_weight));
             }
             ApStatus::Healthy => {
                 at_obs::count!("at_observations_fused_total", "health" => "healthy");
-                picked.push((i, 1.0));
+                plan.picked.push((i, 1.0));
             }
         }
     }
 
     let required = policy.min_quorum.max(1);
-    if picked.len() < required {
+    if plan.picked.len() < required {
+        let available = plan.picked.len();
+        plan.picked.clear();
         return Err(LocalizeError::QuorumNotMet {
-            available: picked.len(),
+            available,
             required,
             stale,
             down,
             degenerate,
         });
     }
-    Ok(FusionPlan { picked })
+    Ok(())
 }
 
 /// Runs a [`FusionPlan`]'s surviving observations through `engine`.
 ///
 /// Tempered (degraded) spectra get owned storage; full-trust spectra are
 /// borrowed as-is, so an all-healthy plan is byte-identical to calling
-/// [`LocalizationEngine::localize`] on the raw spectra.
+/// [`LocalizationEngine::localize`] on the raw spectra. Uses the calling
+/// thread's pooled [`FusionScratch`]; repeat queries allocate nothing
+/// beyond degraded-spectrum tempering.
 pub fn execute_fusion(
     engine: &LocalizationEngine,
     obs: &[FusedObservation<'_>],
     plan: &FusionPlan,
 ) -> LocationEstimate {
-    let tempered: Vec<Option<AoaSpectrum>> = plan
-        .picked
-        .iter()
-        .map(|&(i, w)| (w < 1.0).then(|| confidence_weighted(obs[i].spectrum, w)))
-        .collect();
-    let picked: Vec<(usize, &AoaSpectrum)> = plan
-        .picked
-        .iter()
-        .zip(&tempered)
-        .map(|(&(i, _), t)| (obs[i].pose_idx, t.as_ref().unwrap_or(obs[i].spectrum)))
-        .collect();
-    engine.localize(&picked)
+    with_fusion_scratch(|scratch| {
+        execute_plan(
+            engine,
+            &|i| obs[i],
+            plan,
+            &mut scratch.tempered,
+            &mut scratch.engine,
+        )
+    })
+}
+
+/// The accessor-based core of [`execute_fusion`], writing through the
+/// caller's tempering buffer and engine arena (split out of a
+/// [`FusionScratch`] so the plan inside the same scratch can be borrowed
+/// simultaneously).
+fn execute_plan<'a, F>(
+    engine: &LocalizationEngine,
+    get: &F,
+    plan: &FusionPlan,
+    tempered: &mut Vec<Option<AoaSpectrum>>,
+    engine_scratch: &mut LocalizeScratch,
+) -> LocationEstimate
+where
+    F: Fn(usize) -> FusedObservation<'a>,
+{
+    tempered.clear();
+    tempered.resize(plan.picked.len(), None);
+    for (slot, &(i, w)) in tempered.iter_mut().zip(&plan.picked) {
+        if w < 1.0 {
+            *slot = Some(confidence_weighted(get(i).spectrum, w));
+        }
+    }
+    let tempered: &[Option<AoaSpectrum>] = tempered;
+    let get_spec = |j: usize| {
+        let (i, _) = plan.picked[j];
+        let o = get(i);
+        (o.pose_idx, tempered[j].as_ref().unwrap_or(o.spectrum))
+    };
+    engine.localize_indexed(plan.picked.len(), &get_spec, engine_scratch)
 }
 
 /// [`plan_fusion`] + [`execute_fusion`] against a deployment-shared
-/// engine — one networked localize query.
+/// engine — one networked localize query, on the calling thread's pooled
+/// [`FusionScratch`].
 pub fn fuse_with_engine(
     engine: &LocalizationEngine,
     obs: &[FusedObservation<'_>],
     health: &HealthTracker,
     policy: &HealthPolicy,
 ) -> Result<LocationEstimate, LocalizeError> {
-    let plan = plan_fusion(obs, engine.bins(), health, policy)?;
-    Ok(execute_fusion(engine, obs, &plan))
+    with_fusion_scratch(|scratch| fuse_with_scratch(engine, obs, health, policy, scratch))
+}
+
+/// [`fuse_with_engine`] with a caller-owned workspace: a serving worker
+/// that keeps one [`FusionScratch`] per exec thread localizes with zero
+/// heap allocations once the arena has warmed to the query shape.
+pub fn fuse_with_scratch(
+    engine: &LocalizationEngine,
+    obs: &[FusedObservation<'_>],
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+    scratch: &mut FusionScratch,
+) -> Result<LocationEstimate, LocalizeError> {
+    let FusionScratch {
+        plan,
+        tempered,
+        engine: engine_scratch,
+    } = scratch;
+    plan_fusion_indexed(obs.len(), &|i| obs[i], engine.bins(), health, policy, plan)?;
+    Ok(execute_plan(
+        engine,
+        &|i| obs[i],
+        plan,
+        tempered,
+        engine_scratch,
+    ))
 }
 
 /// Batch-localize entry point: runs every query of `queries` through the
@@ -288,15 +412,38 @@ pub fn fuse_batch(
     policy: &HealthPolicy,
     threads: usize,
 ) -> Vec<Result<LocationEstimate, LocalizeError>> {
+    let mut out = Vec::with_capacity(queries.len());
+    fuse_batch_into(engine, queries, health, policy, threads, &mut out);
+    out
+}
+
+/// [`fuse_batch`] writing into a caller-reused results vector (cleared
+/// first): the fully allocation-free batch path for a serving worker that
+/// owns both its [`FusionScratch`] (via the thread pool) and its results
+/// buffer. Single-threaded batches reuse the calling thread's scratch
+/// across every query of the batch.
+pub fn fuse_batch_into(
+    engine: &LocalizationEngine,
+    queries: &[&[FusedObservation<'_>]],
+    health: &HealthTracker,
+    policy: &HealthPolicy,
+    threads: usize,
+    out: &mut Vec<Result<LocationEstimate, LocalizeError>>,
+) {
+    out.clear();
     if queries.len() <= 1 || threads <= 1 {
-        return queries
-            .iter()
-            .map(|q| fuse_with_engine(engine, q, health, policy))
-            .collect();
+        with_fusion_scratch(|scratch| {
+            out.extend(
+                queries
+                    .iter()
+                    .map(|q| fuse_with_scratch(engine, q, health, policy, scratch)),
+            );
+        });
+        return;
     }
-    crate::parallel::parallel_map(queries, threads, |_, q| {
+    out.extend(crate::parallel::parallel_map(queries, threads, |_, q| {
         fuse_with_engine(engine, q, health, policy)
-    })
+    }));
 }
 
 /// Submission metadata carried alongside each observation: which
@@ -477,13 +624,13 @@ impl ArrayTrackServer {
         let bins = self.observations[0].spectrum.bins();
         let slot = self.ensure_engine(bins);
         let engine = slot.as_ref().expect("engine was just built");
-        let obs: Vec<(usize, &AoaSpectrum)> = self
-            .observations
-            .iter()
-            .enumerate()
-            .map(|(i, o)| (i, &o.spectrum))
-            .collect();
-        engine.localize(&obs)
+        crate::engine::with_default_scratch(|scratch| {
+            engine.localize_indexed(
+                self.observations.len(),
+                &|i| (i, &self.observations[i].spectrum),
+                scratch,
+            )
+        })
     }
 
     /// Produces a location estimate under the degradation policy, or a
@@ -535,24 +682,33 @@ impl ArrayTrackServer {
         }
         let bins = self.observations[0].spectrum.bins();
         // The engine's pose table mirrors the observation list, so each
-        // observation's pose index is simply its position.
-        let fused: Vec<FusedObservation<'_>> = self
-            .observations
-            .iter()
-            .zip(&self.meta)
-            .enumerate()
-            .map(|(i, (o, m))| FusedObservation {
-                pose_idx: i,
-                spectrum: &o.spectrum,
-                ap_id: m.ap_id,
-                age: m.age,
-            })
-            .collect();
-        // Plan first: a quorum failure must not pay an engine rebuild.
-        let plan = plan_fusion(&fused, bins, &self.health, &self.policy)?;
-        let slot = self.ensure_engine(bins);
-        let engine = slot.as_ref().expect("engine was just built");
-        Ok(execute_fusion(engine, &fused, &plan))
+        // observation's pose index is simply its position; observations
+        // are read through an accessor so no query-shaped vector is built.
+        let get = |i: usize| FusedObservation {
+            pose_idx: i,
+            spectrum: &self.observations[i].spectrum,
+            ap_id: self.meta[i].ap_id,
+            age: self.meta[i].age,
+        };
+        with_fusion_scratch(|scratch| {
+            let FusionScratch {
+                plan,
+                tempered,
+                engine: engine_scratch,
+            } = scratch;
+            // Plan first: a quorum failure must not pay an engine rebuild.
+            plan_fusion_indexed(
+                self.observations.len(),
+                &get,
+                bins,
+                &self.health,
+                &self.policy,
+                plan,
+            )?;
+            let slot = self.ensure_engine(bins);
+            let engine = slot.as_ref().expect("engine was just built");
+            Ok(execute_plan(engine, &get, plan, tempered, engine_scratch))
+        })
     }
 
     /// The accumulated observations (for heatmap rendering).

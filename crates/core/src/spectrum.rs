@@ -98,6 +98,30 @@ impl AoaSpectrum {
         }
     }
 
+    /// In-place equivalent of `*self = src.normalized()` for same-length
+    /// spectra: overwrites this spectrum's bins with `src` normalized to
+    /// peak 1, reusing the existing allocation. Bit-identical values to
+    /// [`Self::normalized`] (same per-bin division, same all-zero
+    /// fallback) — scratch arenas rely on that.
+    ///
+    /// # Panics
+    /// Panics if the bin counts differ.
+    pub fn copy_normalized_from(&mut self, src: &AoaSpectrum) {
+        assert_eq!(
+            self.values.len(),
+            src.values.len(),
+            "in-place normalize needs matching resolutions"
+        );
+        let m = src.max_value();
+        if m == 0.0 {
+            self.values.copy_from_slice(&src.values);
+            return;
+        }
+        for (d, v) in self.values.iter_mut().zip(&src.values) {
+            *d = v / m;
+        }
+    }
+
     /// Finds local maxima at least `rel_threshold` × the global maximum,
     /// sorted by descending power. Adjacent bins are compared circularly.
     pub fn find_peaks(&self, rel_threshold: f64) -> Vec<Peak> {

@@ -18,7 +18,7 @@
 use crate::spectrum::AoaSpectrum;
 use at_channel::geometry::{pt, Point};
 use at_channel::{half_wavelength, wavelength};
-use at_linalg::{CVector, Complex64};
+use at_linalg::{CVector, Complex64, NoiseSubspace};
 use std::collections::HashMap;
 use std::f64::consts::{PI, TAU};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -49,6 +49,11 @@ pub struct SteeringTable {
     bins: usize,
     /// `bins/2 + 1` vectors for θ = i·2π/bins, i in `0..=bins/2`.
     vectors: Vec<CVector>,
+    /// The same vectors as contiguous split re/im slabs (row `i` holds
+    /// vector `i`'s components) — the layout the batched noise-subspace
+    /// projection kernel consumes.
+    planar_re: Vec<f64>,
+    planar_im: Vec<f64>,
 }
 
 impl SteeringTable {
@@ -58,13 +63,21 @@ impl SteeringTable {
         assert!(elements >= 1, "need at least one element");
         assert!(bins >= 8, "a scan needs a reasonable resolution");
         let half = bins / 2;
-        let vectors = (0..=half)
+        let vectors: Vec<CVector> = (0..=half)
             .map(|i| ula_steering(elements, i as f64 * TAU / bins as f64))
             .collect();
+        let mut planar_re = Vec::with_capacity((half + 1) * elements);
+        let mut planar_im = Vec::with_capacity((half + 1) * elements);
+        for v in &vectors {
+            planar_re.extend(v.iter().map(|z| z.re));
+            planar_im.extend(v.iter().map(|z| z.im));
+        }
         Self {
             elements,
             bins,
             vectors,
+            planar_re,
+            planar_im,
         }
     }
 
@@ -106,6 +119,40 @@ impl SteeringTable {
         let mut values = vec![0.0; bins];
         for (i, a) in self.vectors.iter().enumerate() {
             let p = f(a).max(0.0);
+            values[i] = p;
+            if i != 0 && i != half {
+                values[bins - i] = p;
+            }
+        }
+        AoaSpectrum::from_values(values)
+    }
+
+    /// The stored half-circle vectors as contiguous split re/im slabs
+    /// (`(bins/2 + 1) × elements`, row-major): the input shape of
+    /// [`NoiseSubspace::batch_projection`].
+    pub fn planar(&self) -> (&[f64], &[f64]) {
+        (&self.planar_re, &self.planar_im)
+    }
+
+    /// The MUSIC sweep as one batched SoA kernel call: evaluates
+    /// `P(θ) = 1 / max(aᴴ·E_N·E_Nᴴ·a, 1e-12)` for every stored
+    /// half-circle vector via [`NoiseSubspace::batch_projection`] and
+    /// mirrors to the full circle, with no per-bin temporaries.
+    ///
+    /// # Panics
+    /// Panics if `noise` was built for a different element count.
+    pub fn scan_projection(&self, noise: &NoiseSubspace) -> AoaSpectrum {
+        assert_eq!(
+            noise.elements(),
+            self.elements,
+            "noise subspace element count must match the steering table"
+        );
+        let bins = self.bins;
+        let half = bins / 2;
+        let mut values = vec![0.0; bins];
+        noise.batch_projection(&self.planar_re, &self.planar_im, &mut values[..=half]);
+        for i in (0..=half).rev() {
+            let p = (1.0 / values[i].max(1e-12)).max(0.0);
             values[i] = p;
             if i != 0 && i != half {
                 values[bins - i] = p;

@@ -1,0 +1,115 @@
+//! Proof of the zero-allocation hot path: a warm `try_localize` query
+//! must not touch the global allocator at all.
+//!
+//! A counting allocator wraps `System` and tallies every `alloc` /
+//! `realloc` / `alloc_zeroed`. The server is warmed until every arena —
+//! the engine's per-thread [`at_core::LocalizeScratch`], the pipeline's
+//! fusion scratch, the obs layer's per-site metric handles — has grown to
+//! the query shape, then ten more queries must leave the counter exactly
+//! where it was.
+//!
+//! Kept to a single `#[test]` on purpose: the harness runs tests on
+//! multiple threads, and any concurrent test body would alias the global
+//! counter with its own allocations.
+
+use at_channel::geometry::{pt, Point};
+use at_core::synthesis::{ApPose, SearchRegion};
+use at_core::{AoaSpectrum, ArrayTrackServer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A synthetic single-lobe spectrum pointing at `target` from `pose`.
+fn lobe_toward(pose: ApPose, target: Point) -> AoaSpectrum {
+    let theta = pose.bearing_to(target);
+    AoaSpectrum::from_fn(720, |t| {
+        (-(at_channel::geometry::angle_diff(t, theta) / 0.08).powi(2)).exp() + 1e-6
+    })
+}
+
+#[test]
+fn warm_localize_paths_do_not_allocate() {
+    let target = pt(7.0, 3.0);
+    let mut server = ArrayTrackServer::new(SearchRegion::new(pt(0.0, 0.0), pt(12.0, 8.0)));
+    for (i, (center, axis)) in [
+        (pt(0.0, 0.0), 0.3),
+        (pt(12.0, 0.0), 2.0),
+        (pt(6.0, 8.0), 4.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let pose = ApPose {
+            center,
+            axis_angle: axis,
+        };
+        server.add_observation_from(i, pose, lobe_toward(pose, target), 0);
+    }
+
+    // Warm-up: the first call builds the engine, later calls grow every
+    // per-thread arena and per-site metric handle to steady state.
+    let warm = server.try_localize().expect("healthy deployment");
+    for _ in 0..5 {
+        let again = server.try_localize().expect("healthy deployment");
+        assert_eq!(warm.position.x.to_bits(), again.position.x.to_bits());
+        assert_eq!(warm.position.y.to_bits(), again.position.y.to_bits());
+    }
+    server.localize();
+
+    // The tentpole claim: the warm query path is allocation-free.
+    let before = allocations();
+    for _ in 0..10 {
+        server.try_localize().expect("healthy deployment");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm try_localize touched the allocator {} times over 10 queries",
+        after - before
+    );
+
+    // The legacy panicking entry point shares the same arenas.
+    let before = allocations();
+    for _ in 0..10 {
+        server.localize();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm localize touched the allocator {} times over 10 queries",
+        after - before
+    );
+}

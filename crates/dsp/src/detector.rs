@@ -14,6 +14,7 @@
 //! Both report sample-accurate frame start offsets.
 
 use at_linalg::Complex64;
+use std::cell::RefCell;
 
 /// A detection event: where a frame starts and how strong the metric was.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,6 +23,60 @@ pub struct Detection {
     pub start: usize,
     /// Peak metric value (detector-specific normalization, 0..1-ish).
     pub metric: f64,
+}
+
+/// Reusable workspace for the detectors' hot paths: the timing metric /
+/// correlation traces, the sliding-energy prefix sums, and the peak lists.
+///
+/// The `_into` detector methods write into one of these instead of
+/// allocating per call; [`SchmidlCox::detect`], [`MatchedFilter::detect`]
+/// and [`MatchedFilter::detect_all`] route through a per-thread instance,
+/// so a capture thread scanning frame after frame stops paying allocator
+/// round-trips once the workspace has grown to the stream length.
+#[derive(Clone, Debug, Default)]
+pub struct DetectScratch {
+    metric: Vec<f64>,
+    prefix: Vec<f64>,
+    corr: Vec<f64>,
+    peaks: Vec<Detection>,
+    kept: Vec<Detection>,
+}
+
+impl DetectScratch {
+    /// An empty workspace; it grows to the stream shape on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Schmidl–Cox timing metric left by [`SchmidlCox::metric_into`].
+    pub fn metric(&self) -> &[f64] {
+        &self.metric
+    }
+
+    /// The normalized correlation trace left by
+    /// [`MatchedFilter::correlation_into`].
+    pub fn correlation(&self) -> &[f64] {
+        &self.corr
+    }
+
+    /// The suppressed, start-ordered detections left by
+    /// [`MatchedFilter::detect_all_into`].
+    pub fn detections(&self) -> &[Detection] {
+        &self.kept
+    }
+}
+
+thread_local! {
+    static DETECT_SCRATCH: RefCell<DetectScratch> = RefCell::new(DetectScratch::new());
+}
+
+/// Runs `f` with the calling thread's detector workspace, falling back to
+/// a fresh arena under re-entrancy rather than panicking.
+fn with_detect_scratch<R>(f: impl FnOnce(&mut DetectScratch) -> R) -> R {
+    DETECT_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut DetectScratch::new()),
+    })
 }
 
 /// Schmidl–Cox autocorrelation detector over the periodic short training
@@ -60,13 +115,23 @@ impl SchmidlCox {
 
     /// Computes the timing metric `M(d)` for every valid offset.
     pub fn metric(&self, rx: &[Complex64]) -> Vec<f64> {
+        let mut scratch = DetectScratch::new();
+        self.metric_into(rx, &mut scratch);
+        std::mem::take(&mut scratch.metric)
+    }
+
+    /// [`Self::metric`] into a reusable workspace (`scratch.metric()`);
+    /// empty when the stream is too short for a single window.
+    pub fn metric_into(&self, rx: &[Complex64], scratch: &mut DetectScratch) {
+        let out = &mut scratch.metric;
+        out.clear();
         let l = self.period;
         let w = self.window;
         if rx.len() < 2 * l + w {
-            return vec![];
+            return;
         }
         let n = rx.len() - l - w;
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         for d in 0..n {
             let mut p = Complex64::ZERO;
             let mut r = 0.0;
@@ -76,33 +141,42 @@ impl SchmidlCox {
             }
             out.push(if r > 0.0 { p.norm_sqr() / (r * r) } else { 0.0 });
         }
-        out
     }
 
     /// Returns the first detection, if any: the first index where the
     /// metric crosses the threshold and stays there for half a period.
     pub fn detect(&self, rx: &[Complex64]) -> Option<Detection> {
         let _t = at_obs::time_stage!(at_obs::stages::DETECT, "detector" => "schmidl_cox");
-        let m = self.metric(rx);
-        let hold = self.period / 2;
-        let mut run = 0usize;
-        for (d, &v) in m.iter().enumerate() {
-            if v >= self.threshold {
-                run += 1;
-                if run >= hold {
-                    let start = d + 1 - run;
-                    at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "hit");
-                    return Some(Detection {
-                        start,
-                        metric: m[start..=d].iter().cloned().fold(0.0, f64::max),
-                    });
+        let det = with_detect_scratch(|scratch| {
+            self.metric_into(rx, scratch);
+            let m = &scratch.metric;
+            let hold = self.period / 2;
+            let mut run = 0usize;
+            for (d, &v) in m.iter().enumerate() {
+                if v >= self.threshold {
+                    run += 1;
+                    if run >= hold {
+                        let start = d + 1 - run;
+                        return Some(Detection {
+                            start,
+                            metric: m[start..=d].iter().cloned().fold(0.0, f64::max),
+                        });
+                    }
+                } else {
+                    run = 0;
                 }
-            } else {
-                run = 0;
+            }
+            None
+        });
+        match det {
+            Some(_) => {
+                at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "hit")
+            }
+            None => {
+                at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "miss")
             }
         }
-        at_obs::count!("at_detections_total", "detector" => "schmidl_cox", "result" => "miss");
-        None
+        det
     }
 }
 
@@ -154,64 +228,100 @@ impl MatchedFilter {
     /// Value at offset `d` is `|⟨ref, rx[d..]⟩| / ‖rx[d..d+N]‖`, which is 1
     /// for a noiseless, scaled copy of the preamble.
     pub fn correlation(&self, rx: &[Complex64]) -> Vec<f64> {
+        let mut scratch = DetectScratch::new();
+        self.correlation_into(rx, &mut scratch);
+        std::mem::take(&mut scratch.corr)
+    }
+
+    /// [`Self::correlation`] into a reusable workspace
+    /// (`scratch.correlation()`); empty when the stream is shorter than
+    /// the reference.
+    pub fn correlation_into(&self, rx: &[Complex64], scratch: &mut DetectScratch) {
+        let DetectScratch { prefix, corr, .. } = scratch;
+        prefix.clear();
+        corr.clear();
         let n = self.reference.len();
         if rx.len() < n {
-            return vec![];
+            return;
         }
         // Sliding window energy via prefix sums.
-        let mut prefix = Vec::with_capacity(rx.len() + 1);
+        prefix.reserve(rx.len() + 1);
         prefix.push(0.0);
         for z in rx {
             let last = *prefix.last().expect("non-empty prefix");
             prefix.push(last + z.norm_sqr());
         }
-        (0..=rx.len() - n)
-            .map(|d| {
-                let mut acc = Complex64::ZERO;
-                for (r, x) in self.reference.iter().zip(&rx[d..d + n]) {
-                    acc = acc.mul_add(*r, *x);
-                }
-                let energy = prefix[d + n] - prefix[d];
-                if energy > 0.0 {
-                    acc.abs() / energy.sqrt()
-                } else {
-                    0.0
-                }
-            })
-            .collect()
+        corr.reserve(rx.len() - n + 1);
+        for d in 0..=rx.len() - n {
+            let mut acc = Complex64::ZERO;
+            for (r, x) in self.reference.iter().zip(&rx[d..d + n]) {
+                acc = acc.mul_add(*r, *x);
+            }
+            let energy = prefix[d + n] - prefix[d];
+            corr.push(if energy > 0.0 {
+                acc.abs() / energy.sqrt()
+            } else {
+                0.0
+            });
+        }
     }
 
     /// Returns all detections: local maxima of the correlation above the
     /// threshold, greedily separated by at least one preamble length.
     pub fn detect_all(&self, rx: &[Complex64]) -> Vec<Detection> {
-        let corr = self.correlation(rx);
-        let mut peaks: Vec<Detection> = corr
-            .iter()
-            .enumerate()
-            .filter(|&(d, &v)| {
-                v >= self.threshold
-                    && (d == 0 || corr[d - 1] <= v)
-                    && (d + 1 == corr.len() || v >= corr[d + 1])
-            })
-            .map(|(d, &v)| Detection {
-                start: d,
-                metric: v,
-            })
-            .collect();
+        with_detect_scratch(|scratch| {
+            self.detect_all_into(rx, scratch);
+            scratch.kept.clone()
+        })
+    }
+
+    /// [`Self::detect_all`] into a reusable workspace
+    /// (`scratch.detections()`) — the allocation-free shape of the scan.
+    pub fn detect_all_into(&self, rx: &[Complex64], scratch: &mut DetectScratch) {
+        self.correlation_into(rx, scratch);
+        let DetectScratch {
+            corr, peaks, kept, ..
+        } = scratch;
+        peaks.clear();
+        for (d, &v) in corr.iter().enumerate() {
+            if v >= self.threshold
+                && (d == 0 || corr[d - 1] <= v)
+                && (d + 1 == corr.len() || v >= corr[d + 1])
+            {
+                peaks.push(Detection {
+                    start: d,
+                    metric: v,
+                });
+            }
+        }
         // Non-maximum suppression within a full preamble length: the
         // periodic short training symbols produce strong correlation
         // sidelobes at ±0.8 µs multiples that must not count as separate
-        // detections.
-        peaks.sort_by(|a, b| b.metric.partial_cmp(&a.metric).expect("finite metrics"));
+        // detections. The peak list is tiny, so a stable insertion sort
+        // (descending by metric — the same permutation as the stable
+        // `sort_by` it replaces) avoids the merge buffer.
+        for i in 1..peaks.len() {
+            let mut j = i;
+            while j > 0 && peaks[j].metric > peaks[j - 1].metric {
+                peaks.swap(j, j - 1);
+                j -= 1;
+            }
+        }
         let min_sep = self.reference.len();
-        let mut kept: Vec<Detection> = Vec::new();
-        for p in peaks {
+        kept.clear();
+        for &p in peaks.iter() {
             if kept.iter().all(|k| p.start.abs_diff(k.start) >= min_sep) {
                 kept.push(p);
             }
         }
-        kept.sort_by_key(|p| p.start);
-        kept
+        // Back to start order (stable, in place).
+        for i in 1..kept.len() {
+            let mut j = i;
+            while j > 0 && kept[j].start < kept[j - 1].start {
+                kept.swap(j, j - 1);
+                j -= 1;
+            }
+        }
     }
 
     /// The strongest detection, if any. (Taking the earliest instead is
@@ -219,10 +329,14 @@ impl MatchedFilter {
     /// the threshold.)
     pub fn detect(&self, rx: &[Complex64]) -> Option<Detection> {
         let _t = at_obs::time_stage!(at_obs::stages::DETECT, "detector" => "matched_filter");
-        let det = self
-            .detect_all(rx)
-            .into_iter()
-            .max_by(|a, b| a.metric.partial_cmp(&b.metric).expect("finite metrics"));
+        let det = with_detect_scratch(|scratch| {
+            self.detect_all_into(rx, scratch);
+            scratch
+                .kept
+                .iter()
+                .copied()
+                .max_by(|a, b| a.metric.partial_cmp(&b.metric).expect("finite metrics"))
+        });
         match det {
             Some(_) => {
                 at_obs::count!("at_detections_total", "detector" => "matched_filter", "result" => "hit")

@@ -29,5 +29,5 @@ pub mod preamble;
 pub use awgn::{db_to_linear, linear_to_db, NoiseSource};
 pub use cfo::{correct_cfo, estimate_cfo};
 pub use corr::SnapshotBlock;
-pub use detector::{Detection, MatchedFilter, SchmidlCox};
+pub use detector::{DetectScratch, Detection, MatchedFilter, SchmidlCox};
 pub use preamble::{Frame, Preamble, SAMPLE_RATE_HZ};

@@ -10,7 +10,11 @@
 //!   matrices (paper eq. 4);
 //! - [`eigh`]: eigendecomposition of Hermitian matrices via the cyclic
 //!   complex Jacobi method, producing the signal/noise subspace split at the
-//!   heart of the MUSIC pseudospectrum (paper §2.3.1, eqs. 5–6).
+//!   heart of the MUSIC pseudospectrum (paper §2.3.1, eqs. 5–6);
+//! - [`NoiseSubspace`]: the noise eigenvectors in split re/im
+//!   structure-of-arrays layout, with single and batched
+//!   `aᴴ·E_N·E_Nᴴ·a` projection kernels — the allocation-free shape of the
+//!   MUSIC sweep.
 //!
 //! Matrices in this workload are tiny (≤ 16×16), so the implementation is
 //! tuned for robustness and verifiability rather than asymptotic speed; the
@@ -23,9 +27,11 @@
 mod complex;
 mod eig;
 mod matrix;
+mod soa;
 mod vector;
 
 pub use complex::{c64, Complex64};
 pub use eig::{eigh, EigError, HermitianEigen};
 pub use matrix::CMatrix;
+pub use soa::NoiseSubspace;
 pub use vector::CVector;

@@ -35,7 +35,7 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use batch::BatchPolicy;
+pub use batch::{AdaptivePolicy, BatchController, BatchPolicy, BATCH_WINDOW_GAUGE};
 pub use client::{Client, ClientConfig, ClientError, RemoteFix};
 pub use proto::{ApHealthReport, DecodeError, Frame, ReadError};
 pub use server::{spawn, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot};

@@ -33,7 +33,7 @@
 //! in-process one, and degraded deployments surface the same
 //! [`at_core::health::LocalizeError`] values over the wire.
 
-use crate::batch::{gather, BatchPolicy};
+use crate::batch::{gather, AdaptivePolicy, BatchController, BatchPolicy};
 use crate::proto::{self, ApHealthReport, Frame, ReadError};
 use crate::queue::Bounded;
 use at_core::health::{HealthPolicy, HealthTracker};
@@ -91,8 +91,12 @@ pub struct ServeConfig {
     /// Executor queue depth, in batches (small: its only job is keeping
     /// workers fed while the batcher gathers the next batch).
     pub exec_depth: usize,
-    /// Coalescing policy for localize requests.
+    /// Coalescing policy for localize requests (`batch.window` is the
+    /// starting window when adaptation is on).
     pub batch: BatchPolicy,
+    /// Adaptive window sizing from the observed admission-queue dwell;
+    /// `None` pins the window at `batch.window`.
+    pub adaptive: Option<AdaptivePolicy>,
     /// Retry hint attached to [`Frame::Overloaded`] responses.
     pub retry_after_ms: u32,
 }
@@ -104,6 +108,7 @@ impl Default for ServeConfig {
             admission_depth: 64,
             exec_depth: 4,
             batch: BatchPolicy::default(),
+            adaptive: Some(AdaptivePolicy::default()),
             retry_after_ms: 10,
         }
     }
@@ -113,12 +118,16 @@ impl ServeConfig {
     /// Validates the configuration.
     ///
     /// # Panics
-    /// Panics on zero workers or zero queue depths.
+    /// Panics on zero workers, zero queue depths, or an inconsistent
+    /// adaptive policy.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
         assert!(self.admission_depth >= 1, "admission queue needs depth");
         assert!(self.exec_depth >= 1, "exec queue needs depth");
         self.batch.validate();
+        if let Some(a) = &self.adaptive {
+            a.validate();
+        }
     }
 }
 
@@ -209,10 +218,10 @@ pub fn spawn(
         let admission = Arc::clone(&admission);
         let exec = Arc::clone(&exec);
         let shared = Arc::clone(&shared);
-        let policy = cfg.batch;
+        let controller = BatchController::new(cfg.batch, cfg.adaptive);
         thread::Builder::new()
             .name("at-serve-batcher".into())
-            .spawn(move || run_batcher(&admission, &exec, &shared, &policy))?
+            .spawn(move || run_batcher(&admission, &exec, &shared, controller))?
     };
 
     let workers = (0..cfg.workers)
@@ -514,15 +523,16 @@ fn run_batcher(
     admission: &Bounded<Job>,
     exec: &Bounded<Vec<Job>>,
     shared: &Shared,
-    policy: &BatchPolicy,
+    mut controller: BatchController,
 ) {
     let dwell = at_obs::stages::stage_histogram(at_obs::stages::SERVE_QUEUE);
-    while let Some(batch) = gather(admission, policy) {
+    while let Some(batch) = gather(admission, controller.policy()) {
         // A request that expired while queued must not occupy a batch slot.
         let now = Instant::now();
         for job in &batch {
             dwell.observe(now.saturating_duration_since(job.enqueued).as_secs_f64());
         }
+        controller.on_batch();
         let live: Vec<Job> = batch
             .into_iter()
             .filter(|job| !expire_deadline(shared, job, now))
@@ -542,6 +552,9 @@ fn run_batcher(
 }
 
 fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
+    // Reused batch after batch; together with the engine's per-thread
+    // fusion scratch this makes a warm worker's sweep allocation-free.
+    let mut results: Vec<Result<LocationEstimate, at_core::LocalizeError>> = Vec::new();
     while let Some(batch) = exec.pop() {
         let _t = at_obs::time_stage!(
             at_obs::stages::SERVE_BATCH,
@@ -575,10 +588,17 @@ fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
             .collect();
         let queries: Vec<&[FusedObservation<'_>]> = fused.iter().map(Vec::as_slice).collect();
         // Workers are the parallelism; each sweep runs single-threaded.
-        let results = at_core::fuse_batch(&shared.engine, &queries, &health, &shared.policy, 1);
+        at_core::fuse_batch_into(
+            &shared.engine,
+            &queries,
+            &health,
+            &shared.policy,
+            1,
+            &mut results,
+        );
         drop(queries);
         drop(fused);
-        for (job, result) in live.iter().zip(results) {
+        for (job, result) in live.iter().zip(results.drain(..)) {
             let frame = match result {
                 Ok(estimate) => {
                     shared.stats.fixes.fetch_add(1, Ordering::Relaxed);

@@ -194,6 +194,7 @@ fn overload_sheds_with_typed_frames_and_server_stays_responsive() {
             window: Duration::from_millis(1),
             max_batch: 2,
         },
+        adaptive: None,
         retry_after_ms: 5,
     };
     let server = spawn(service(HealthPolicy::default()), cfg, "127.0.0.1:0").expect("spawn");
@@ -258,6 +259,7 @@ fn queued_past_deadline_requests_are_dropped_before_fusion() {
             window: Duration::from_millis(120),
             max_batch: 8,
         },
+        adaptive: None,
         ..ServeConfig::default()
     };
     let server = spawn(service(HealthPolicy::default()), cfg, "127.0.0.1:0").expect("spawn");
@@ -285,6 +287,7 @@ fn shutdown_drains_in_flight_requests_then_refuses_new_ones() {
             window: Duration::from_millis(300),
             max_batch: 8,
         },
+        adaptive: None,
         ..ServeConfig::default()
     };
     let server = spawn(service(HealthPolicy::default()), cfg, "127.0.0.1:0").expect("spawn");
