@@ -20,9 +20,16 @@
 #                  property tests (decoder totality, bit-exact round trips)
 #                  and the loopback server tests (parity, shedding,
 #                  deadlines, drain), then loadgen --smoke — a seconds-scale
-#                  sustained/overload/drain run that fails on throughput
-#                  collapse, inert admission control, or dropped in-flight
-#                  requests (full runs refresh BENCH_SERVE.json)
+#                  sustained/overload/mixed/drain run that fails on
+#                  throughput collapse, inert admission control, broken
+#                  keyed parity, a resident gauge over the session cap, or
+#                  dropped in-flight requests (full runs refresh
+#                  BENCH_SERVE.json)
+#   serve-sessions — the multi-process ingestion tier: six AP connections +
+#                  concurrent app readers (tests/serve_sessions.rs: keyed
+#                  parity, idle/cap eviction, silent-AP quorum errors, the
+#                  session-store golden fixture) plus the barrier-driven
+#                  store interleaving tests (no torn spectra)
 #   bench-smoke  — perf_report --smoke: the observed per-stage latency
 #                  budget (detect/spectrum/fusion, from the at-obs metrics
 #                  the instrumented pipeline records) must stay within 3x of
@@ -68,6 +75,11 @@ serve() {
     cargo run --release -q -p at-bench --bin loadgen -- --smoke
 }
 
+serve_sessions() {
+    cargo test -q --test serve_sessions
+    cargo test -q -p at-serve --test store_interleave
+}
+
 stage fmt cargo fmt --all --check
 stage build cargo build --release
 stage tier1 cargo test -q
@@ -76,11 +88,14 @@ if [[ $QUICK -eq 1 ]]; then
     # The wire protocol is the one subsystem whose bugs tier-1 cannot see
     # (the facade tests drive it through a healthy path only), so its
     # unit + property tests ride in the inner loop too. Cheap: no server
-    # sockets, just encode/decode.
+    # sockets, just encode/decode — including the keyed-frame
+    # version-gating properties.
     stage proto cargo test -q -p at-serve --lib
+    stage proto-props cargo test -q -p at-serve --test proto_proptests
 else
     stage robustness robustness
     stage serve serve
+    stage serve-sessions serve_sessions
     # Whole workspace except the vendored registry stand-ins (vendor/*),
     # which mirror upstream APIs verbatim and are not held to our lints.
     stage lint cargo clippy -q --workspace --exclude rand --exclude proptest \

@@ -2,7 +2,7 @@
 //! sustained-throughput, overload, and graceful-drain phases over loopback
 //! TCP, committed to `BENCH_SERVE.json` at the repo root.
 //!
-//! Three phases:
+//! Four phases:
 //!
 //! 1. **sustained** — concurrent clients with pre-filled six-AP sessions
 //!    issue localize requests back to back; reports responses/sec and the
@@ -12,26 +12,33 @@
 //!    load beyond capacity must *shed* (typed `Overloaded` frames, shed
 //!    counter > 0) while the server keeps answering — proven by a
 //!    ping + localize after the storm.
-//! 3. **drain** — a request is parked mid-batch-window while the server
+//! 3. **mixed** — the Figure 1 topology: six AP ingestion connections
+//!    stream keyed spectra while app connections localize by key, under a
+//!    resident-spectra cap of half the working set. A sampler asserts the
+//!    `at_serve_sessions_spectra_resident` gauge never exceeds the cap,
+//!    and a quiesced keyed fix is checked bit-exact against the
+//!    in-process server before the storm.
+//! 4. **drain** — a request is parked mid-batch-window while the server
 //!    shuts down; graceful drain must still answer it with a fix.
 //!
-//! `--smoke` runs the same three phases at CI scale (seconds, not
+//! `--smoke` runs the same four phases at CI scale (seconds, not
 //! minutes) and exits non-zero if the sustained throughput collapses
-//! below [`SMOKE_MIN_RPS`] or the shed/drain behaviors disappear.
+//! below [`SMOKE_MIN_RPS`], the shed/drain behaviors disappear, the
+//! keyed parity breaks, or the resident gauge exceeds the cap.
 
 use crate::report::Report;
 use at_channel::geometry::pt;
 use at_core::health::HealthPolicy;
 use at_core::synthesis::SearchRegion;
-use at_core::AoaSpectrum;
+use at_core::{AoaSpectrum, ArrayTrackServer};
 use at_serve::{
-    spawn, AdaptivePolicy, BatchPolicy, Client, ClientConfig, ClientError, ServeConfig,
-    ServiceConfig,
+    spawn, AdaptivePolicy, ApClient, AppClient, BatchPolicy, Client, ClientConfig, ClientError,
+    ServeConfig, ServiceConfig, SessionPolicy,
 };
 use at_testbed::office;
 use std::io::Write as _;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -124,6 +131,7 @@ fn run_sustained(report: &Report, clients: usize, per_client: usize) -> Sustaine
         batch: BatchPolicy::default(),
         adaptive: Some(AdaptivePolicy::default()),
         retry_after_ms: 5,
+        ..ServeConfig::default()
     };
     let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
     let addr = server.addr();
@@ -194,6 +202,7 @@ fn run_overload(report: &Report, clients: usize, per_client: usize) -> OverloadR
         },
         adaptive: None,
         retry_after_ms: 5,
+        ..ServeConfig::default()
     };
     let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
     let addr = server.addr();
@@ -276,9 +285,210 @@ fn run_drain(report: &Report) -> bool {
     drained
 }
 
+struct MixedResult {
+    ap_conns: usize,
+    app_threads: usize,
+    keys: usize,
+    cap: usize,
+    submits: usize,
+    fixes: usize,
+    unresolved: usize,
+    shed: usize,
+    max_resident_spectra: f64,
+    evicted_cap: u64,
+    parity_ok: bool,
+    seconds: f64,
+}
+
+/// Mixed phase: the paper's Figure 1 topology under load. Six AP
+/// ingestion connections stream keyed spectra for `keys` tracked clients
+/// while `apps` application connections localize by key — against a
+/// resident-spectra cap of *half* the working set, so cap eviction runs
+/// continuously. A sampler thread watches the
+/// `at_serve_sessions_spectra_resident` gauge the whole time: its maximum
+/// must never exceed the cap (the acceptance criterion committed to
+/// BENCH_SERVE.json). Before the storm, one quiesced keyed fix is checked
+/// bit-exact against the in-process `ArrayTrackServer` on the same
+/// spectra.
+fn run_mixed(
+    report: &Report,
+    keys: usize,
+    rounds: usize,
+    apps: usize,
+    per_app: usize,
+) -> MixedResult {
+    let service = office_service();
+    let n_aps = service.poses.len();
+    let cap = (keys * n_aps / 2).max(n_aps);
+    let cfg = ServeConfig {
+        session: SessionPolicy {
+            max_resident_spectra: cap,
+            // Only cap pressure evicts in this phase: idleness and
+            // staleness are parked out of the measurement.
+            idle_timeout: Duration::from_secs(3600),
+            refresh_interval: Duration::from_secs(3600),
+            ..SessionPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = spawn(service.clone(), cfg, "127.0.0.1:0").expect("spawn");
+    let addr = server.addr();
+
+    // One spectrum set per key, precomputed so the storm measures the
+    // server, not the lobe generator.
+    let targets: Vec<_> = (0..keys)
+        .map(|k| {
+            pt(
+                4.0 + (k as f64 * 5.3) % (office::WIDTH - 8.0),
+                3.0 + (k as f64 * 2.9) % (office::DEPTH - 6.0),
+            )
+        })
+        .collect();
+    let spectra: Arc<Vec<Vec<AoaSpectrum>>> = Arc::new(
+        targets
+            .iter()
+            .map(|&t| {
+                (0..n_aps)
+                    .map(|ap| lobe_spectrum(&service, ap, t))
+                    .collect()
+            })
+            .collect(),
+    );
+
+    // Quiesced parity check on key 0 before the storm: keyed wire fix ==
+    // in-process fix, bit for bit.
+    let mut reference = ArrayTrackServer::new(service.region);
+    for (ap, spectrum) in spectra[0].iter().enumerate() {
+        reference.add_observation_from(ap, service.poses[ap], spectrum.clone(), 0);
+    }
+    let expected = reference.try_localize().expect("reference fix");
+    let parity_ok = {
+        let mut ap_conn = ApClient::connect(addr, ClientConfig::default()).expect("ap connect");
+        for (ap, spectrum) in spectra[0].iter().enumerate() {
+            ap_conn
+                .submit(0, ap as u32, 0, spectrum)
+                .expect("parity submit");
+        }
+        let mut app = AppClient::connect(addr, ClientConfig::default()).expect("app connect");
+        let fix = app.localize(0, None).expect("parity fix");
+        fix.position.x.to_bits() == expected.position.x.to_bits()
+            && fix.position.y.to_bits() == expected.position.y.to_bits()
+            && fix.likelihood.to_bits() == expected.likelihood.to_bits()
+    };
+
+    // Gauge sampler: the cap invariant is asserted on what an operator
+    // would actually see, not on internal state.
+    let resident_gauge =
+        at_obs::global().gauge(at_obs::names::SERVE_SESSIONS_SPECTRA_RESIDENT, &[]);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let gauge = Arc::clone(&resident_gauge);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut max = 0.0f64;
+            while !stop.load(Ordering::Acquire) {
+                max = max.max(gauge.get());
+                thread::sleep(Duration::from_millis(1));
+            }
+            max.max(gauge.get())
+        })
+    };
+
+    let start = Instant::now();
+    let writers: Vec<_> = (0..n_aps)
+        .map(|ap| {
+            let spectra = Arc::clone(&spectra);
+            thread::spawn(move || {
+                let mut conn = ApClient::connect(addr, ClientConfig::default()).expect("ap");
+                for round in 0..rounds {
+                    for key in 0..spectra.len() {
+                        // Stagger per-AP key order so writers collide on
+                        // different sessions each round.
+                        let key = (key + ap * 7 + round) % spectra.len();
+                        conn.submit(key as u64, ap as u32, 0, &spectra[key][ap])
+                            .expect("storm submit");
+                    }
+                }
+            })
+        })
+        .collect();
+    let fixes = Arc::new(AtomicUsize::new(0));
+    let unresolved = Arc::new(AtomicUsize::new(0));
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let readers: Vec<_> = (0..apps)
+        .map(|ai| {
+            let fixes = Arc::clone(&fixes);
+            let unresolved = Arc::clone(&unresolved);
+            let sheds = Arc::clone(&sheds);
+            thread::spawn(move || {
+                let mut app = AppClient::connect(addr, ClientConfig::default()).expect("app");
+                for i in 0..per_app {
+                    let key = ((i * 13 + ai * 5) % keys) as u64;
+                    match app.localize(key, None) {
+                        Ok(_) => fixes.fetch_add(1, Ordering::Relaxed),
+                        // Cap pressure may have displaced the key between
+                        // its last submit and this query: a typed localize
+                        // error is correct behavior, not a failure.
+                        Err(ClientError::Localize(_)) => unresolved.fetch_add(1, Ordering::Relaxed),
+                        Err(ClientError::Overloaded { .. }) => {
+                            sheds.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Err(e) => panic!("unexpected error under mixed load: {e}"),
+                    };
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("ap thread");
+    }
+    for r in readers {
+        r.join().expect("app thread");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    let max_resident_spectra = sampler.join().expect("sampler");
+    let stats = server.shutdown();
+
+    let result = MixedResult {
+        ap_conns: n_aps,
+        app_threads: apps,
+        keys,
+        cap,
+        submits: n_aps * rounds * keys + n_aps, // storm + parity priming
+        fixes: fixes.load(Ordering::Relaxed),
+        unresolved: unresolved.load(Ordering::Relaxed),
+        shed: sheds.load(Ordering::Relaxed),
+        max_resident_spectra,
+        evicted_cap: stats.sessions_evicted_cap,
+        parity_ok,
+        seconds,
+    };
+    report.line(format!(
+        "  mixed: {} APs x {} keys, {} app fixes (+{} unresolved, {} shed) in {:.2} s; \
+         resident max {:.0} / cap {}, {} cap evictions, parity {}",
+        result.ap_conns,
+        result.keys,
+        result.fixes,
+        result.unresolved,
+        result.shed,
+        result.seconds,
+        result.max_resident_spectra,
+        result.cap,
+        result.evicted_cap,
+        if result.parity_ok {
+            "bit-exact"
+        } else {
+            "BROKEN"
+        },
+    ));
+    result
+}
+
 fn write_json(
     sustained: &SustainedResult,
     overload: &OverloadResult,
+    mixed: &MixedResult,
     drained: bool,
 ) -> std::io::Result<()> {
     // Host context rides along so the committed numbers can be traced to
@@ -286,7 +496,7 @@ fn write_json(
     // baseline" item asks for a re-baseline whenever this repo's numbers
     // were taken on a single core and the current host has more.
     let json = format!(
-        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  {},\n  \"sustained\": {{ \"clients\": {}, \"workers\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
+        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  {},\n  \"sustained\": {{ \"clients\": {}, \"workers\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"mixed\": {{ \"ap_connections\": {}, \"app_threads\": {}, \"keys\": {}, \"resident_spectra_cap\": {}, \"submits\": {}, \"fixes\": {}, \"unresolved\": {}, \"shed\": {}, \"max_resident_spectra\": {:.0}, \"cap_evictions\": {}, \"parity_bit_exact\": {}, \"seconds\": {:.2} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
         crate::experiments::perf::host_context_json(),
         sustained.clients,
         sustained.workers,
@@ -301,6 +511,18 @@ fn write_json(
         overload.fixes,
         overload.shed,
         overload.responsive_after,
+        mixed.ap_conns,
+        mixed.app_threads,
+        mixed.keys,
+        mixed.cap,
+        mixed.submits,
+        mixed.fixes,
+        mixed.unresolved,
+        mixed.shed,
+        mixed.max_resident_spectra,
+        mixed.evicted_cap,
+        mixed.parity_ok,
+        mixed.seconds,
         drained,
     );
     let mut f = std::fs::File::create(BASELINE_PATH)?;
@@ -315,6 +537,7 @@ pub fn run() -> std::io::Result<()> {
     report.section("at-serve loadgen (loopback)");
     let sustained = run_sustained(&report, 8, 600);
     let overload = run_overload(&report, 32, 16);
+    let mixed = run_mixed(&report, 16, 8, 8, 100);
     let drained = run_drain(&report);
     report.csv(
         "loadgen",
@@ -325,10 +548,23 @@ pub fn run() -> std::io::Result<()> {
             vec!["latency_p95_ms".into(), format!("{:.3}", sustained.p95_ms)],
             vec!["latency_p99_ms".into(), format!("{:.3}", sustained.p99_ms)],
             vec!["overload_shed".into(), overload.shed.to_string()],
+            vec![
+                "mixed_max_resident_spectra".into(),
+                format!("{:.0}", mixed.max_resident_spectra),
+            ],
+            vec!["mixed_cap".into(), mixed.cap.to_string()],
+            vec!["mixed_cap_evictions".into(), mixed.evicted_cap.to_string()],
+            vec!["mixed_parity_bit_exact".into(), mixed.parity_ok.to_string()],
             vec!["drained".into(), drained.to_string()],
         ],
     )?;
-    write_json(&sustained, &overload, drained)?;
+    write_json(&sustained, &overload, &mixed, drained)?;
+    assert!(
+        mixed.max_resident_spectra <= mixed.cap as f64,
+        "resident-spectra gauge peaked at {} over the cap {}",
+        mixed.max_resident_spectra,
+        mixed.cap
+    );
     if sustained.rps < 1000.0 {
         report.line(format!(
             "  WARNING: sustained rate {:.0} rps below the 1k target on this host",
@@ -345,6 +581,7 @@ pub fn run_smoke() -> std::io::Result<()> {
     report.section("serve-smoke: loopback sanity at CI scale");
     let sustained = run_sustained(&report, 4, 60);
     let overload = run_overload(&report, 16, 8);
+    let mixed = run_mixed(&report, 8, 4, 4, 24);
     let drained = run_drain(&report);
     let mut failures = Vec::new();
     if sustained.rps < SMOKE_MIN_RPS {
@@ -358,6 +595,21 @@ pub fn run_smoke() -> std::io::Result<()> {
     }
     if !overload.responsive_after {
         failures.push("server unresponsive after the overload storm".into());
+    }
+    if !mixed.parity_ok {
+        failures.push("keyed wire fix diverged from the in-process fusion".into());
+    }
+    if mixed.max_resident_spectra > mixed.cap as f64 {
+        failures.push(format!(
+            "resident-spectra gauge peaked at {:.0} over the cap {}",
+            mixed.max_resident_spectra, mixed.cap
+        ));
+    }
+    if mixed.evicted_cap == 0 {
+        failures.push("mixed run evicted nothing — cap enforcement inert".into());
+    }
+    if mixed.fixes == 0 {
+        failures.push("mixed run produced no keyed fixes".into());
     }
     if !drained {
         failures.push("graceful shutdown dropped an in-flight request".into());

@@ -33,6 +33,7 @@
 
 pub mod budget;
 pub mod metrics;
+pub mod names;
 pub mod snapshot;
 pub mod stages;
 pub mod trace;

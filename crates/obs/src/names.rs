@@ -1,0 +1,29 @@
+//! Canonical names for cross-crate metrics.
+//!
+//! Stage timings get their names from [`crate::stages`]; everything else
+//! that more than one crate needs to agree on — the recorder on one side,
+//! dashboards/tests/loadgen asserting on the other — lives here, so a
+//! rename is a one-line change instead of a string hunt. Today that is
+//! the `at-serve` session store: the ROADMAP's "millions of mostly-idle
+//! clients" goal makes resident-session accounting an operational
+//! invariant (the loadgen mixed workload asserts the resident gauges
+//! never exceed the configured cap), which only works if both sides spell
+//! the names identically.
+
+/// Gauge: keyed sessions currently resident in the serve session store.
+pub const SERVE_SESSIONS_RESIDENT: &str = "at_serve_sessions_resident";
+
+/// Gauge: spectra currently resident across all keyed sessions — the
+/// quantity the store's hard cap bounds.
+pub const SERVE_SESSIONS_SPECTRA_RESIDENT: &str = "at_serve_sessions_spectra_resident";
+
+/// Counter: keyed sessions created (first spectrum for a new key).
+pub const SERVE_SESSIONS_CREATED_TOTAL: &str = "at_serve_sessions_created_total";
+
+/// Counter: keyed sessions evicted, labelled `reason="idle"` (idle
+/// timeout hit by the reaper) or `reason="cap"` (displaced oldest-first
+/// by an insert over the resident-spectra cap).
+pub const SERVE_SESSIONS_EVICTED_TOTAL: &str = "at_serve_sessions_evicted_total";
+
+/// Counter: keyed spectrum submissions accepted into the store.
+pub const SERVE_SESSIONS_SUBMITS_TOTAL: &str = "at_serve_sessions_submits_total";

@@ -8,8 +8,16 @@
 //! backoff, applied to connecting and — because the server sheds load by
 //! design — to [`Client::localize`] calls answered with `Overloaded`,
 //! honoring the server's retry hint.
+//!
+//! Three client types share that machinery:
+//! - [`Client`] — the legacy single-session peer: its own spectra, its own
+//!   fixes, one connection (protocol v1).
+//! - [`ApClient`] — the ingestion role: a long-lived AP-process connection
+//!   streaming keyed spectra into the server's session store (v2).
+//! - [`AppClient`] — the query role: an application connection localizing
+//!   a key's store-resident spectra (v2).
 
-use crate::proto::{self, ApHealthReport, Frame, ReadError};
+use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError};
 use at_channel::geometry::Point;
 use at_core::health::LocalizeError;
 use at_core::synthesis::LocationEstimate;
@@ -242,11 +250,20 @@ impl Client {
     /// retried up to `max_attempts` total tries, sleeping the longer of
     /// the configured backoff and the server's hint between tries.
     pub fn localize(&mut self, deadline: Option<Duration>) -> Result<RemoteFix, ClientError> {
-        let deadline_ms = deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+        let deadline_ms = deadline_to_ms(deadline);
+        self.localize_exchange(&Frame::Localize { deadline_ms })
+    }
+
+    /// Sends a localize-shaped `frame` and interprets the reply, retrying
+    /// `Overloaded` answers up to `max_attempts` total tries (sleeping the
+    /// longer of the configured backoff and the server's hint). Shared by
+    /// the legacy in-session [`Client::localize`] and the keyed
+    /// [`AppClient::localize`].
+    fn localize_exchange(&mut self, frame: &Frame) -> Result<RemoteFix, ClientError> {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let reply = self.request(&Frame::Localize { deadline_ms })?;
+            let reply = self.request(frame)?;
             match Self::common(reply)? {
                 Frame::Fix {
                     x,
@@ -272,5 +289,102 @@ impl Client {
                 _ => return Err(ClientError::Unexpected("wanted Fix or Failed")),
             }
         }
+    }
+}
+
+fn deadline_to_ms(deadline: Option<Duration>) -> u32 {
+    deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX))
+}
+
+/// The ingestion role: a long-lived AP-process connection streaming keyed
+/// spectra into the server's session store.
+///
+/// One `ApClient` is one AP process from the paper's Figure 1 deployment:
+/// it connects once and then streams `SubmitKeyed` frames for every client
+/// key it observes. The first keyed frame types the connection as an
+/// ingestion peer server-side; issuing queries from it is a role violation
+/// the server rejects (use [`AppClient`] for those).
+pub struct ApClient {
+    inner: Client,
+}
+
+impl ApClient {
+    /// Connects an ingestion session (same retry policy as
+    /// [`Client::connect`]).
+    pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        Ok(Self {
+            inner: Client::connect(addr, cfg)?,
+        })
+    }
+
+    /// Streams one spectrum from deployment AP `ap_id` for client `key`,
+    /// `age` refresh intervals old. Returns the key's resident spectrum
+    /// count after the store update.
+    pub fn submit(
+        &mut self,
+        key: ClientKey,
+        ap_id: u32,
+        age: u64,
+        spectrum: &at_core::AoaSpectrum,
+    ) -> Result<u32, ClientError> {
+        let reply = self.inner.request(&Frame::SubmitKeyed {
+            key,
+            ap_id,
+            age,
+            spectrum: spectrum.clone(),
+        })?;
+        match Client::common(reply)? {
+            Frame::SubmitAck { observations } => Ok(observations),
+            _ => Err(ClientError::Unexpected("wanted SubmitAck")),
+        }
+    }
+
+    /// Reports a failed acquisition from AP `ap_id` (drives the shared
+    /// server-side health tracker, exactly like [`Client::report_failure`]).
+    pub fn report_failure(&mut self, ap_id: u32) -> Result<(), ClientError> {
+        self.inner.report_failure(ap_id)
+    }
+
+    /// Liveness probe (role-neutral).
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        self.inner.ping(token)
+    }
+}
+
+/// The query role: an application connection asking "where is key K?"
+///
+/// An `AppClient` never submits spectra; it fuses whatever the server's
+/// session store currently holds for a key. The first `LocalizeKey` frame
+/// types the connection as a query peer server-side; submitting keyed
+/// spectra from it is a role violation the server rejects (use
+/// [`ApClient`] for ingestion).
+pub struct AppClient {
+    inner: Client,
+}
+
+impl AppClient {
+    /// Connects a query session (same retry policy as [`Client::connect`]).
+    pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        Ok(Self {
+            inner: Client::connect(addr, cfg)?,
+        })
+    }
+
+    /// Localizes whatever spectra the store holds for `key`, with the
+    /// same deadline semantics and `Overloaded` retry discipline as
+    /// [`Client::localize`].
+    pub fn localize(
+        &mut self,
+        key: ClientKey,
+        deadline: Option<Duration>,
+    ) -> Result<RemoteFix, ClientError> {
+        let deadline_ms = deadline_to_ms(deadline);
+        self.inner
+            .localize_exchange(&Frame::LocalizeKey { key, deadline_ms })
+    }
+
+    /// Liveness probe (role-neutral).
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        self.inner.ping(token)
     }
 }

@@ -34,8 +34,10 @@ pub mod client;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod store;
 
 pub use batch::{AdaptivePolicy, BatchController, BatchPolicy, BATCH_WINDOW_GAUGE};
-pub use client::{Client, ClientConfig, ClientError, RemoteFix};
-pub use proto::{ApHealthReport, DecodeError, Frame, ReadError};
+pub use client::{ApClient, AppClient, Client, ClientConfig, ClientError, RemoteFix};
+pub use proto::{ApHealthReport, ClientKey, DecodeError, Frame, ReadError};
 pub use server::{spawn, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot};
+pub use store::{KeyedObs, SessionPolicy, SessionStore, StoreStats};

@@ -11,13 +11,23 @@
 //!
 //! Client → server frames: [`Frame::SubmitSpectrum`],
 //! [`Frame::ReportFailure`], [`Frame::Localize`], [`Frame::ClearSession`],
-//! [`Frame::Ping`]. Server → client frames: [`Frame::SubmitAck`],
-//! [`Frame::Fix`], [`Frame::Failed`], [`Frame::Overloaded`],
-//! [`Frame::DeadlineExceeded`], [`Frame::Pong`], [`Frame::ProtocolError`],
-//! [`Frame::ShuttingDown`]. Spectra travel as raw `f64` bins; submission
-//! decoding enforces the [`AoaSpectrum`] invariants (finite, non-negative,
-//! ≥ 8 bins) so a decoded frame can always be turned into a spectrum
-//! without panicking.
+//! [`Frame::Ping`], and — version 2, the multi-process deployment split —
+//! [`Frame::SubmitKeyed`] (AP ingestion role: a spectrum tagged with the
+//! [`ClientKey`] it belongs to) and [`Frame::LocalizeKey`] (application
+//! query role: localize whatever the server's session store holds for a
+//! key). Server → client frames: [`Frame::SubmitAck`], [`Frame::Fix`],
+//! [`Frame::Failed`], [`Frame::Overloaded`], [`Frame::DeadlineExceeded`],
+//! [`Frame::Pong`], [`Frame::ProtocolError`], [`Frame::ShuttingDown`].
+//! Spectra travel as raw `f64` bins; submission decoding enforces the
+//! [`AoaSpectrum`] invariants (finite, non-negative, ≥ 8 bins) so a
+//! decoded frame can always be turned into a spectrum without panicking.
+//!
+//! **Versioning**: each frame is encoded with the *lowest* protocol
+//! version that defines it ([`Frame::wire_version`]), and the decoder
+//! accepts [`MIN_VERSION`]`..=`[`VERSION`] headers. A keyed frame type
+//! arriving under a version-1 header is a typed
+//! [`DecodeError::VersionGated`] — never a misparse — so an old peer that
+//! replays new type bytes fails loudly at the framing layer.
 
 use at_core::health::{ApStatus, LocalizeError};
 use at_core::AoaSpectrum;
@@ -27,9 +37,23 @@ use std::io::{self, Read, Write};
 /// Frame preamble: every frame starts with these two bytes.
 pub const MAGIC: [u8; 2] = *b"AT";
 
-/// Current protocol version. A server rejects other versions with
-/// [`DecodeError::BadVersion`] so old clients fail loudly, not subtly.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Version 2 added the keyed ingestion/query
+/// split ([`Frame::SubmitKeyed`], [`Frame::LocalizeKey`]); versions
+/// outside [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
+/// [`DecodeError::BadVersion`] so incompatible peers fail loudly, not
+/// subtly.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still decoded. Version-1 peers keep working:
+/// every pre-keyed frame type is unchanged on the wire.
+pub const MIN_VERSION: u8 = 1;
+
+/// Identifies one tracked client across AP ingestion connections and
+/// application query connections: six AP processes stream
+/// [`Frame::SubmitKeyed`] spectra for the keys they hear, applications
+/// ask [`Frame::LocalizeKey`] about the keys they care about, and the
+/// server's session store joins the two on this value.
+pub type ClientKey = u64;
 
 /// Bytes before the payload: magic (2) + version (1) + type (1) +
 /// payload length (4).
@@ -95,6 +119,32 @@ pub enum Frame {
         /// Echo token.
         token: u64,
     },
+    /// AP process → server (version 2): a processed AoA spectrum for
+    /// tracked client `key`, heard by deployment AP `ap_id`. Lands in the
+    /// server's session store (replacing that AP's previous spectrum for
+    /// the key atomically) rather than in this connection's private
+    /// session; acknowledged with [`Frame::SubmitAck`] carrying the
+    /// key's resident spectrum count.
+    SubmitKeyed {
+        /// The tracked client this spectrum belongs to.
+        key: ClientKey,
+        /// Deployment AP index the spectrum came from.
+        ap_id: u32,
+        /// Spectrum age in server refresh intervals at submission
+        /// (0 = fresh); the store ages it further as intervals pass.
+        age: u64,
+        /// The spectrum itself (validated on decode).
+        spectrum: AoaSpectrum,
+    },
+    /// Application → server (version 2): localize tracked client `key`
+    /// from whatever spectra the session store currently holds for it.
+    /// Deadline semantics match [`Frame::Localize`].
+    LocalizeKey {
+        /// The tracked client to localize.
+        key: ClientKey,
+        /// Relative deadline in milliseconds (0 = none).
+        deadline_ms: u32,
+    },
     /// Server → client: submission accepted; `observations` is the
     /// session's accumulated spectrum count.
     SubmitAck {
@@ -153,6 +203,8 @@ mod ft {
     pub const LOCALIZE: u8 = 0x03;
     pub const CLEAR: u8 = 0x04;
     pub const PING: u8 = 0x05;
+    pub const SUBMIT_KEYED: u8 = 0x06;
+    pub const LOCALIZE_KEY: u8 = 0x07;
     pub const SUBMIT_ACK: u8 = 0x81;
     pub const FIX: u8 = 0x82;
     pub const FAILED: u8 = 0x83;
@@ -184,6 +236,17 @@ pub enum DecodeError {
         /// The type byte found.
         got: u8,
     },
+    /// A frame type newer than the header's declared version: the peer is
+    /// replaying bytes it does not actually speak. Typed so a version-1
+    /// peer carrying keyed frames fails loudly instead of misparsing.
+    VersionGated {
+        /// The frame-type byte.
+        frame: u8,
+        /// The version the header declared.
+        got: u8,
+        /// The version this frame type first appeared in.
+        need: u8,
+    },
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
     Oversize {
         /// The declared length.
@@ -206,6 +269,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "unsupported protocol version {got} (want {VERSION})")
             }
             Self::UnknownType { got } => write!(f, "unknown frame type 0x{got:02x}"),
+            Self::VersionGated { frame, got, need } => write!(
+                f,
+                "frame type 0x{frame:02x} requires protocol version {need}, header declared {got}"
+            ),
             Self::Oversize { len } => {
                 write!(f, "payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")
             }
@@ -291,6 +358,28 @@ fn status_from_wire(b: u8) -> Option<ApStatus> {
     }
 }
 
+/// The protocol version a frame type first appeared in; `None` for
+/// unknown type bytes.
+fn min_version_for(ty: u8) -> Option<u8> {
+    match ty {
+        ft::SUBMIT
+        | ft::REPORT_FAILURE
+        | ft::LOCALIZE
+        | ft::CLEAR
+        | ft::PING
+        | ft::SUBMIT_ACK
+        | ft::FIX
+        | ft::FAILED
+        | ft::OVERLOADED
+        | ft::DEADLINE
+        | ft::PONG
+        | ft::PROTOCOL_ERROR
+        | ft::SHUTTING_DOWN => Some(1),
+        ft::SUBMIT_KEYED | ft::LOCALIZE_KEY => Some(2),
+        _ => None,
+    }
+}
+
 impl Frame {
     fn type_byte(&self) -> u8 {
         match self {
@@ -299,6 +388,8 @@ impl Frame {
             Frame::Localize { .. } => ft::LOCALIZE,
             Frame::ClearSession => ft::CLEAR,
             Frame::Ping { .. } => ft::PING,
+            Frame::SubmitKeyed { .. } => ft::SUBMIT_KEYED,
+            Frame::LocalizeKey { .. } => ft::LOCALIZE_KEY,
             Frame::SubmitAck { .. } => ft::SUBMIT_ACK,
             Frame::Fix { .. } => ft::FIX,
             Frame::Failed { .. } => ft::FAILED,
@@ -310,11 +401,18 @@ impl Frame {
         }
     }
 
+    /// The version byte this frame encodes under: the lowest protocol
+    /// version that defines its type, so version-1 peers keep decoding
+    /// every pre-keyed frame unchanged.
+    pub fn wire_version(&self) -> u8 {
+        min_version_for(self.type_byte()).expect("own frame types are known")
+    }
+
     /// Appends this frame's wire encoding to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let header_at = out.len();
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.wire_version());
         out.push(self.type_byte());
         push_u32(out, 0); // payload length, patched below
         let payload_at = out.len();
@@ -330,6 +428,24 @@ impl Frame {
                 for v in spectrum.values() {
                     push_f64(out, *v);
                 }
+            }
+            Frame::SubmitKeyed {
+                key,
+                ap_id,
+                age,
+                spectrum,
+            } => {
+                push_u64(out, *key);
+                push_u32(out, *ap_id);
+                push_u64(out, *age);
+                push_u32(out, spectrum.bins() as u32);
+                for v in spectrum.values() {
+                    push_f64(out, *v);
+                }
+            }
+            Frame::LocalizeKey { key, deadline_ms } => {
+                push_u64(out, *key);
+                push_u32(out, *deadline_ms);
             }
             Frame::ReportFailure { ap_id } => push_u32(out, *ap_id),
             Frame::Localize { deadline_ms } => push_u32(out, *deadline_ms),
@@ -400,35 +516,73 @@ impl Frame {
     }
 }
 
+/// Parses the wire form of a spectrum (`u32` bin count + raw `f64` bins)
+/// at the cursor, enforcing the [`AoaSpectrum`] invariants before any
+/// constructor can assert.
+fn decode_spectrum(
+    c: &mut Cur<'_>,
+    mal: &impl Fn(&'static str) -> DecodeError,
+) -> Result<AoaSpectrum, DecodeError> {
+    let bins = c.u32().ok_or(mal("truncated bin count"))? as usize;
+    if !(8..=MAX_BINS).contains(&bins) {
+        return Err(mal("spectrum bin count out of range"));
+    }
+    let raw = c
+        .take(bins.checked_mul(8).ok_or(mal("bin count overflow"))?)
+        .ok_or(mal("truncated spectrum values"))?;
+    let mut values = Vec::with_capacity(bins);
+    for chunk in raw.chunks_exact(8) {
+        let v = f64::from_le_bytes(chunk.try_into().unwrap());
+        if !v.is_finite() || v < 0.0 {
+            return Err(mal("spectrum values must be finite and non-negative"));
+        }
+        values.push(v);
+    }
+    Ok(AoaSpectrum::from_values(values))
+}
+
 /// Decodes the payload of a frame whose header already validated.
-fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+/// `version` is the header's declared version: a frame type newer than it
+/// is [`DecodeError::VersionGated`], decided *before* any payload parse.
+fn decode_payload(version: u8, ty: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
     let mal = |reason: &'static str| DecodeError::Malformed { frame: ty, reason };
+    if let Some(need) = min_version_for(ty) {
+        if version < need {
+            return Err(DecodeError::VersionGated {
+                frame: ty,
+                got: version,
+                need,
+            });
+        }
+    }
     let mut c = Cur::new(payload);
     let frame = match ty {
         ft::SUBMIT => {
             let ap_id = c.u32().ok_or(mal("truncated ap_id"))?;
             let age = c.u64().ok_or(mal("truncated age"))?;
-            let bins = c.u32().ok_or(mal("truncated bin count"))? as usize;
-            if !(8..=MAX_BINS).contains(&bins) {
-                return Err(mal("spectrum bin count out of range"));
-            }
-            let raw = c
-                .take(bins.checked_mul(8).ok_or(mal("bin count overflow"))?)
-                .ok_or(mal("truncated spectrum values"))?;
-            let mut values = Vec::with_capacity(bins);
-            for chunk in raw.chunks_exact(8) {
-                let v = f64::from_le_bytes(chunk.try_into().unwrap());
-                if !v.is_finite() || v < 0.0 {
-                    return Err(mal("spectrum values must be finite and non-negative"));
-                }
-                values.push(v);
-            }
+            let spectrum = decode_spectrum(&mut c, &mal)?;
             Frame::SubmitSpectrum {
                 ap_id,
                 age,
-                spectrum: AoaSpectrum::from_values(values),
+                spectrum,
             }
         }
+        ft::SUBMIT_KEYED => {
+            let key = c.u64().ok_or(mal("truncated key"))?;
+            let ap_id = c.u32().ok_or(mal("truncated ap_id"))?;
+            let age = c.u64().ok_or(mal("truncated age"))?;
+            let spectrum = decode_spectrum(&mut c, &mal)?;
+            Frame::SubmitKeyed {
+                key,
+                ap_id,
+                age,
+                spectrum,
+            }
+        }
+        ft::LOCALIZE_KEY => Frame::LocalizeKey {
+            key: c.u64().ok_or(mal("truncated key"))?,
+            deadline_ms: c.u32().ok_or(mal("truncated deadline"))?,
+        },
         ft::REPORT_FAILURE => Frame::ReportFailure {
             ap_id: c.u32().ok_or(mal("truncated ap_id"))?,
         },
@@ -540,7 +694,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
         return Ok(None);
     }
     let version = buf[2];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::BadVersion { got: version });
     }
     let ty = buf[3];
@@ -554,7 +708,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
     if buf.len() < end {
         return Ok(None);
     }
-    let frame = decode_payload(ty, &buf[HEADER_LEN..end])?;
+    let frame = decode_payload(version, ty, &buf[HEADER_LEN..end])?;
     Ok(Some((frame, end)))
 }
 
@@ -665,6 +819,16 @@ mod tests {
             age: 7,
             spectrum: spectrum(),
         });
+        roundtrip(Frame::SubmitKeyed {
+            key: 0x0123_4567_89AB_CDEF,
+            ap_id: 5,
+            age: 1,
+            spectrum: spectrum(),
+        });
+        roundtrip(Frame::LocalizeKey {
+            key: 42,
+            deadline_ms: 75,
+        });
         roundtrip(Frame::ReportFailure { ap_id: 2 });
         roundtrip(Frame::Localize { deadline_ms: 150 });
         roundtrip(Frame::ClearSession);
@@ -734,6 +898,43 @@ mod tests {
         assert_eq!(
             decode(&oversize),
             Err(DecodeError::Oversize { len: 0xffff_ffff })
+        );
+    }
+
+    #[test]
+    fn keyed_frames_are_version_gated() {
+        // Keyed frames encode under version 2; legacy frames stay at 1,
+        // so old peers keep decoding them.
+        assert_eq!(
+            Frame::LocalizeKey {
+                key: 1,
+                deadline_ms: 0
+            }
+            .encode()[2],
+            2
+        );
+        assert_eq!(Frame::Ping { token: 1 }.encode()[2], 1);
+        // The same keyed bytes under a version-1 header are a typed
+        // VersionGated error, not an UnknownType or a misparse.
+        let mut bytes = Frame::LocalizeKey {
+            key: 7,
+            deadline_ms: 10,
+        }
+        .encode();
+        bytes[2] = 1;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::VersionGated {
+                frame: 0x07,
+                got: 1,
+                need: 2,
+            })
+        );
+        // A version beyond VERSION stays BadVersion.
+        bytes[2] = VERSION + 1;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::BadVersion { got: VERSION + 1 })
         );
     }
 

@@ -34,15 +34,16 @@
 //! [`at_core::health::LocalizeError`] values over the wire.
 
 use crate::batch::{gather, AdaptivePolicy, BatchController, BatchPolicy};
-use crate::proto::{self, ApHealthReport, Frame, ReadError};
+use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError};
 use crate::queue::Bounded;
+use crate::store::{SessionPolicy, SessionStore};
 use at_core::health::{HealthPolicy, HealthTracker};
 use at_core::synthesis::{ApPose, SearchRegion};
 use at_core::{AoaSpectrum, FusedObservation, LocalizationEngine, LocationEstimate};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -99,6 +100,9 @@ pub struct ServeConfig {
     pub adaptive: Option<AdaptivePolicy>,
     /// Retry hint attached to [`Frame::Overloaded`] responses.
     pub retry_after_ms: u32,
+    /// Residency policy of the keyed session store (idle timeout,
+    /// resident-spectra cap, reaper cadence).
+    pub session: SessionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +114,7 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             adaptive: Some(AdaptivePolicy::default()),
             retry_after_ms: 10,
+            session: SessionPolicy::default(),
         }
     }
 }
@@ -119,7 +124,7 @@ impl ServeConfig {
     ///
     /// # Panics
     /// Panics on zero workers, zero queue depths, or an inconsistent
-    /// adaptive policy.
+    /// adaptive or session policy.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
         assert!(self.admission_depth >= 1, "admission queue needs depth");
@@ -128,15 +133,19 @@ impl ServeConfig {
         if let Some(a) = &self.adaptive {
             a.validate();
         }
+        self.session.validate();
     }
 }
 
-/// One spectrum accumulated in a connection's session.
-#[derive(Clone, Debug)]
+/// One spectrum accumulated in a connection's session (legacy path) or
+/// snapshotted from the keyed store. The spectrum rides behind an `Arc` so
+/// a store snapshot is a pointer clone per slot — and so a submit racing a
+/// localize for the same key replaces the pointer whole, never the bins.
+#[derive(Clone)]
 struct SessionObs {
     ap_id: u32,
     age: u64,
-    spectrum: AoaSpectrum,
+    spectrum: Arc<AoaSpectrum>,
 }
 
 /// One admitted localize request traveling through the stage queues.
@@ -174,12 +183,24 @@ pub struct StatsSnapshot {
     pub fixes: u64,
     /// Typed localize failures returned (quorum, resolution, empty).
     pub failures: u64,
+    /// Keyed sessions currently resident in the session store.
+    pub sessions_resident: u64,
+    /// Spectra currently resident in the session store (the capped
+    /// quantity).
+    pub spectra_resident: u64,
+    /// Keyed sessions created over the server's lifetime.
+    pub sessions_created: u64,
+    /// Keyed sessions evicted by the idle-timeout reaper.
+    pub sessions_evicted_idle: u64,
+    /// Keyed sessions evicted by resident-spectra cap pressure.
+    pub sessions_evicted_cap: u64,
 }
 
 struct Shared {
     engine: LocalizationEngine,
     policy: HealthPolicy,
     health: Mutex<HealthTracker>,
+    store: SessionStore,
     n_aps: usize,
     draining: AtomicBool,
     retry_after_ms: u32,
@@ -206,6 +227,7 @@ pub fn spawn(
         engine: LocalizationEngine::new(&service.poses, service.region, service.bins),
         policy: service.policy,
         health: Mutex::new(HealthTracker::new(service.poses.len())),
+        store: SessionStore::new(service.poses.len(), cfg.session),
         n_aps: service.poses.len(),
         draining: AtomicBool::new(false),
         retry_after_ms: cfg.retry_after_ms,
@@ -222,6 +244,15 @@ pub fn spawn(
         thread::Builder::new()
             .name("at-serve-batcher".into())
             .spawn(move || run_batcher(&admission, &exec, &shared, controller))?
+    };
+
+    let reaper_stop = Arc::new(ReaperStop::default());
+    let reaper = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&reaper_stop);
+        thread::Builder::new()
+            .name("at-serve-reaper".into())
+            .spawn(move || run_reaper(&shared, &stop))?
     };
 
     let workers = (0..cfg.workers)
@@ -275,10 +306,55 @@ pub fn spawn(
         accept_stop,
         acceptor: Some(acceptor),
         batcher: Some(batcher),
+        reaper: Some(reaper),
+        reaper_stop,
         workers,
         conn_threads,
         conn_socks,
     })
+}
+
+/// Stop flag + wakeup for the background reaper thread.
+#[derive(Default)]
+struct ReaperStop {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The background reaper: advances the store's staleness tick every
+/// `refresh_interval` (so silent APs' spectra age into
+/// `HealthPolicy::max_spectrum_age` staleness) and sweeps idle sessions
+/// every `reap_interval`. Wakes immediately on shutdown.
+fn run_reaper(shared: &Shared, stop: &ReaperStop) {
+    let policy = *shared.store.policy();
+    let mut next_tick = Instant::now() + policy.refresh_interval;
+    let mut next_reap = Instant::now() + policy.reap_interval;
+    let mut stopped = stop.stopped.lock().expect("reaper stop poisoned");
+    loop {
+        if *stopped {
+            return;
+        }
+        let now = Instant::now();
+        // Catch up elapsed intervals even if the thread overslept, so
+        // real time maps to tick count.
+        while now >= next_tick {
+            shared.store.advance_tick();
+            next_tick += policy.refresh_interval;
+        }
+        if now >= next_reap {
+            shared.store.reap_idle(now);
+            while now >= next_reap {
+                next_reap += policy.reap_interval;
+            }
+        }
+        let wake = next_tick.min(next_reap);
+        let timeout = wake.saturating_duration_since(Instant::now());
+        let (guard, _) = stop
+            .cv
+            .wait_timeout(stopped, timeout)
+            .expect("reaper stop poisoned");
+        stopped = guard;
+    }
 }
 
 /// A running server: its address, live counters, and the shutdown switch.
@@ -289,6 +365,8 @@ pub struct ServerHandle {
     accept_stop: Arc<AtomicBool>,
     acceptor: Option<thread::JoinHandle<()>>,
     batcher: Option<thread::JoinHandle<()>>,
+    reaper: Option<thread::JoinHandle<()>>,
+    reaper_stop: Arc<ReaperStop>,
     workers: Vec<thread::JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     conn_socks: Arc<Mutex<Vec<TcpStream>>>,
@@ -303,6 +381,7 @@ impl ServerHandle {
     /// Current request counters.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.shared.stats;
+        let store = self.shared.store.stats();
         StatsSnapshot {
             connections: s.connections.load(Ordering::Relaxed),
             requests: s.requests.load(Ordering::Relaxed),
@@ -310,6 +389,11 @@ impl ServerHandle {
             deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
             fixes: s.fixes.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
+            sessions_resident: store.resident_sessions,
+            spectra_resident: store.resident_spectra,
+            sessions_created: store.created,
+            sessions_evicted_idle: store.evicted_idle,
+            sessions_evicted_cap: store.evicted_cap,
         }
     }
 
@@ -332,7 +416,17 @@ impl ServerHandle {
             let _ = h.join();
         }
         // 3. The batcher drains the admission queue, then closes exec;
-        //    workers drain exec, answering every in-flight request.
+        //    workers drain exec, answering every in-flight request. The
+        //    reaper just stops — resident sessions die with the store.
+        *self
+            .reaper_stop
+            .stopped
+            .lock()
+            .expect("reaper stop poisoned") = true;
+        self.reaper_stop.cv.notify_all();
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
@@ -374,10 +468,35 @@ pub mod errcode {
     pub const BAD_AP: u8 = 1;
     /// A server→client frame type arrived at the server.
     pub const NOT_A_REQUEST: u8 = 2;
+    /// A keyed frame crossed the connection's role: an ingestion
+    /// connection issued `LocalizeKey`, or a query connection issued
+    /// `SubmitKeyed`.
+    pub const ROLE_MISMATCH: u8 = 3;
+}
+
+/// What a connection has declared itself to be. The first keyed frame
+/// types the connection; legacy (v1) frames are role-neutral and leave it
+/// untyped.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// No keyed frame seen yet.
+    Untyped,
+    /// An AP process streaming `SubmitKeyed` (may not query).
+    Ingest,
+    /// An application issuing `LocalizeKey` (may not submit).
+    App,
+}
+
+fn role_mismatch(wanted: &str, got: &str) -> Frame {
+    Frame::ProtocolError {
+        code: errcode::ROLE_MISMATCH,
+        message: format!("connection is typed {got}; {wanted} frames are not allowed"),
+    }
 }
 
 fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
     let mut session: Vec<SessionObs> = Vec::new();
+    let mut role = Role::Untyped;
     loop {
         let frame = match proto::read_frame(&mut stream) {
             Ok(Some(f)) => f,
@@ -418,11 +537,55 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                     session.push(SessionObs {
                         ap_id,
                         age,
-                        spectrum,
+                        spectrum: Arc::new(spectrum),
                     });
                     Frame::SubmitAck {
                         observations: session.len() as u32,
                     }
+                }
+            }
+            Frame::SubmitKeyed {
+                key,
+                ap_id,
+                age,
+                spectrum,
+            } => {
+                if role == Role::App {
+                    role_mismatch("ingestion", "app")
+                } else if (ap_id as usize) >= shared.n_aps {
+                    Frame::ProtocolError {
+                        code: errcode::BAD_AP,
+                        message: format!(
+                            "ap {ap_id} out of range (deployment has {})",
+                            shared.n_aps
+                        ),
+                    }
+                } else {
+                    role = Role::Ingest;
+                    shared
+                        .health
+                        .lock()
+                        .expect("health poisoned")
+                        .report_success(ap_id as usize);
+                    let observations =
+                        shared
+                            .store
+                            .submit(key, ap_id as usize, age, Arc::new(spectrum));
+                    Frame::SubmitAck {
+                        observations: observations as u32,
+                    }
+                }
+            }
+            Frame::LocalizeKey { key, deadline_ms } => {
+                if role == Role::Ingest {
+                    role_mismatch("query", "ingest")
+                } else {
+                    role = Role::App;
+                    // An unknown (never-submitted or evicted) key fuses an
+                    // empty observation set: the normal path answers with
+                    // the typed `NoObservations` error.
+                    let obs = keyed_obs(shared, key);
+                    handle_localize(shared, admission, obs, deadline_ms)
                 }
             }
             Frame::ReportFailure { ap_id } => {
@@ -451,7 +614,7 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
             }
             Frame::Ping { token } => Frame::Pong { token },
             Frame::Localize { deadline_ms } => {
-                handle_localize(shared, admission, &session, deadline_ms)
+                handle_localize(shared, admission, session.clone(), deadline_ms)
             }
             // Response-type frames are never valid requests.
             _ => Frame::ProtocolError {
@@ -465,15 +628,34 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
     }
 }
 
+/// Snapshots the store's resident spectra for `key` as session
+/// observations, in ascending AP order (the order the in-process
+/// reference adds them, which bit-exact parity requires).
+fn keyed_obs(shared: &Shared, key: ClientKey) -> Vec<SessionObs> {
+    shared
+        .store
+        .snapshot(key)
+        .map(|snap| {
+            snap.into_iter()
+                .map(|o| SessionObs {
+                    ap_id: o.ap_id,
+                    age: o.age,
+                    spectrum: o.spectrum,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 fn handle_localize(
     shared: &Shared,
     admission: &Bounded<Job>,
-    session: &[SessionObs],
+    obs: Vec<SessionObs>,
     deadline_ms: u32,
 ) -> Frame {
     let _t = at_obs::time_stage!(
         at_obs::stages::SERVE_REQUEST,
-        "observations" => session.len(),
+        "observations" => obs.len(),
     );
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     at_obs::count!("at_serve_requests_total");
@@ -484,7 +666,7 @@ fn handle_localize(
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job {
-        obs: session.to_vec(),
+        obs,
         deadline,
         enqueued: Instant::now(),
         reply: reply_tx,

@@ -196,6 +196,7 @@ fn overload_sheds_with_typed_frames_and_server_stays_responsive() {
         },
         adaptive: None,
         retry_after_ms: 5,
+        ..ServeConfig::default()
     };
     let server = spawn(service(HealthPolicy::default()), cfg, "127.0.0.1:0").expect("spawn");
     let addr = server.addr();

@@ -4,7 +4,9 @@
 
 use at_core::health::{ApStatus, LocalizeError};
 use at_core::AoaSpectrum;
-use at_serve::proto::{decode, ApHealthReport, Frame, HEADER_LEN, MAGIC, VERSION};
+use at_serve::proto::{
+    decode, ApHealthReport, DecodeError, Frame, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
+};
 use proptest::prelude::*;
 
 /// Round-trips `frame` and checks bit-exactness (f64 payloads compare via
@@ -171,5 +173,79 @@ proptest! {
             message: String::from_utf8(vec![fill; msg_len]).unwrap(),
         };
         roundtrip_exact(&frame);
+    }
+
+    /// The keyed (v2) frames round-trip bit-exactly for arbitrary keys,
+    /// APs, ages, deadlines, and seed-scrambled spectra.
+    #[test]
+    fn keyed_frames_roundtrip_bit_exact(
+        key in 0u64..u64::MAX,
+        ap_id in 0u32..64,
+        age in 0u64..100,
+        deadline_ms in 0u32..u32::MAX,
+        bins_step in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bins = [8, 64, 360, 720][bins_step];
+        let mut state = seed | 1;
+        let values: Vec<f64> = (0..bins)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+            })
+            .collect();
+        roundtrip_exact(&Frame::SubmitKeyed {
+            key,
+            ap_id,
+            age,
+            spectrum: AoaSpectrum::from_values(values),
+        });
+        roundtrip_exact(&Frame::LocalizeKey { key, deadline_ms });
+    }
+
+    /// A keyed frame whose header claims an old protocol version is
+    /// rejected with the typed `VersionGated` error — never misparsed,
+    /// never accepted.
+    #[test]
+    fn keyed_frames_under_old_versions_fail_typed(
+        key in 0u64..u64::MAX,
+        deadline_ms in 0u32..u32::MAX,
+    ) {
+        let mut bytes = Frame::LocalizeKey { key, deadline_ms }.encode();
+        prop_assert_eq!(bytes[2], 2, "keyed frames declare v2 on the wire");
+        bytes[2] = MIN_VERSION; // replay under the v1 header
+        match decode(&bytes) {
+            Err(DecodeError::VersionGated { got, need, .. }) => {
+                prop_assert_eq!(got, MIN_VERSION);
+                prop_assert_eq!(need, 2);
+            }
+            other => prop_assert!(false, "wanted VersionGated, got {:?}", other),
+        }
+    }
+
+    /// Any version byte on an otherwise header-shaped frame either
+    /// decodes (in the supported range) or fails typed: out-of-range
+    /// versions get `BadVersion`, in-range versions never panic on any
+    /// payload.
+    #[test]
+    fn arbitrary_version_bytes_never_panic(
+        version_raw in 0u32..256,
+        ty_raw in 0u32..256,
+        payload in proptest::collection::vec((0u32..256).prop_map(|v| v as u8), 0..64),
+    ) {
+        let version = version_raw as u8;
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(version);
+        bytes.push(ty_raw as u8);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match decode(&bytes) {
+            Err(DecodeError::BadVersion { got }) => {
+                prop_assert_eq!(got, version);
+                prop_assert!(!(MIN_VERSION..=VERSION).contains(&version));
+            }
+            _ => prop_assert!((MIN_VERSION..=VERSION).contains(&version)),
+        }
     }
 }

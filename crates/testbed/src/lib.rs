@@ -42,5 +42,7 @@ pub use experiments::{
     ExperimentConfig,
 };
 pub use metrics::ErrorStats;
-pub use serve::{serve_deployment, service_config, submit_position};
+pub use serve::{
+    ap_clients, serve_deployment, service_config, submit_position, submit_position_keyed,
+};
 pub use stream::{run_stream, FixEvent, StreamClient, StreamConfig, StreamReport};

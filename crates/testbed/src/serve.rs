@@ -12,9 +12,13 @@ use crate::deployment::Deployment;
 use crate::experiments::{compute_spectrum, ExperimentConfig};
 use at_channel::geometry::Point;
 use at_core::health::HealthPolicy;
-use at_serve::{Client, ClientError, ServeConfig, ServerHandle, ServiceConfig};
+use at_serve::{
+    ApClient, Client, ClientConfig, ClientError, ClientKey, ServeConfig, ServerHandle,
+    ServiceConfig,
+};
 use rand::Rng;
 use std::io;
+use std::net::SocketAddr;
 
 /// The wire-service description of a deployment: its AP poses, its
 /// floorplan's search region, and the given fusion policy. `bins` must
@@ -58,6 +62,39 @@ pub fn submit_position<R: Rng>(
     Ok(observations)
 }
 
+/// Connects one ingestion connection per AP of the deployment — the
+/// paper's Figure 1 topology, where each of the (six, for the office) AP
+/// processes holds its own long-lived link to the aggregation server.
+pub fn ap_clients(
+    addr: SocketAddr,
+    n_aps: usize,
+    cfg: ClientConfig,
+) -> Result<Vec<ApClient>, ClientError> {
+    (0..n_aps).map(|_| ApClient::connect(addr, cfg)).collect()
+}
+
+/// Captures a client transmission at every AP of `dep` and streams each
+/// processed spectrum through *that AP's own* ingestion connection,
+/// tagged with `key` — the multi-process equivalent of
+/// [`submit_position`]. Returns the key's resident spectrum count after
+/// the last submission.
+pub fn submit_position_keyed<R: Rng>(
+    aps: &mut [ApClient],
+    key: ClientKey,
+    dep: &Deployment,
+    position: Point,
+    cfg: &ExperimentConfig,
+    rng: &mut R,
+) -> Result<u32, ClientError> {
+    assert_eq!(aps.len(), dep.aps.len(), "one ingestion connection per AP");
+    let mut observations = 0;
+    for (ap, conn) in aps.iter_mut().enumerate() {
+        let spectrum = compute_spectrum(dep, ap, position, cfg, rng);
+        observations = conn.submit(key, ap as u32, 0, &spectrum)?;
+    }
+    Ok(observations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +131,42 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.fixes, 1);
         assert_eq!(stats.shed, 0);
+    }
+
+    /// Figure 1 topology over the wire: one ingestion connection per
+    /// office AP streams keyed spectra, a separate app connection asks
+    /// "where is key 7?" and gets a fix within the usual office accuracy.
+    #[test]
+    fn six_ap_processes_feed_one_server_and_an_app_queries_by_key() {
+        let dep = Deployment::office(3);
+        let cfg = ExperimentConfig::arraytrack(3);
+        let server = serve_deployment(
+            &dep,
+            cfg.pipeline.music.bins,
+            HealthPolicy::default(),
+            ServeConfig::default(),
+        )
+        .expect("spawn");
+
+        let truth = dep.clients[2];
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut aps =
+            ap_clients(server.addr(), dep.aps.len(), ClientConfig::default()).expect("connect aps");
+        let key: ClientKey = 7;
+        let n = submit_position_keyed(&mut aps, key, &dep, truth, &cfg, &mut rng).expect("submit");
+        assert_eq!(n as usize, dep.aps.len());
+
+        let mut app =
+            at_serve::AppClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+        let fix = app.localize(key, None).expect("fix");
+        let err = fix.position.sub(truth).norm();
+        assert!(err < 4.0, "keyed office fix off by {err:.2} m");
+        assert_eq!(fix.health.len(), dep.aps.len());
+
+        let stats = server.shutdown();
+        assert_eq!(stats.fixes, 1);
+        assert_eq!(stats.sessions_created, 1);
+        assert_eq!(stats.sessions_resident, 1);
+        assert_eq!(stats.spectra_resident as usize, dep.aps.len());
     }
 }
