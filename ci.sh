@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
 # CI entry point: tiered gates with per-stage timing.
 #
-# Usage: ./ci.sh [--quick]
+# Usage: ./ci.sh [--quick] [--stage <name>]
 #
-#   --quick   format + build + tier-1 tests + at-serve protocol unit
-#             tests (the inner-loop subset); CI proper runs every stage.
+#   --quick         format + build + tier-1 tests + at-serve protocol and
+#                   codec unit tests (the inner-loop subset); CI proper
+#                   runs every stage.
+#   --stage <name>  run exactly one gate in isolation (any name from the
+#                   list below, including the quick-only ones) — the
+#                   debug loop for a single red gate.
 #
 # Stages:
 #   fmt          — cargo fmt --check over the whole workspace
 #   build        — release build of every crate
 #   tier1        — the full test suite (ROADMAP.md's tier-1 bar)
+#   proto        — at-serve wire-protocol unit tests (--quick and --stage)
+#   proto-props  — wire-protocol property tests: decoder totality,
+#                  bit-exact round trips, version gating
+#   codec        — the protocol-v3 spectrum codec: quantize/delta/varint
+#                  unit tests plus the codec property tests (decompressor
+#                  totality on arbitrary bytes, lossless bit-exactness,
+#                  quantization error bounds, compressed-frame version
+#                  gating)
 #   robustness   — seeded fault-injection scenarios + golden spectra +
 #                  property tests (tests/faults.rs, tests/golden_spectrum.rs;
 #                  the scenario seed 4242 is pinned inside the tests so the
@@ -22,9 +34,11 @@
 #                  deadlines, drain), then loadgen --smoke — a seconds-scale
 #                  sustained/overload/mixed/drain run that fails on
 #                  throughput collapse, inert admission control, broken
-#                  keyed parity, a resident gauge over the session cap, or
-#                  dropped in-flight requests (full runs refresh
-#                  BENCH_SERVE.json)
+#                  keyed parity, a resident gauge over the session cap,
+#                  dropped in-flight requests, a quantized uplink over the
+#                  0.15x byte budget, a median compressed fix ≥ 1 mm from
+#                  the raw path, or a lossless replay that is not bit-exact
+#                  (full runs refresh BENCH_SERVE.json)
 #   serve-sessions — the multi-process ingestion tier: six AP connections +
 #                  concurrent app readers (tests/serve_sessions.rs: keyed
 #                  parity, idle/cap eviction, silent-AP quorum errors, the
@@ -37,15 +51,30 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+usage() {
+    echo "usage: ./ci.sh [--quick] [--stage <name>]" >&2
+    echo "stages: fmt build tier1 proto proto-props codec robustness serve serve-sessions lint bench-smoke" >&2
+}
+
 QUICK=0
-for arg in "$@"; do
-    case "$arg" in
+ONLY=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
     --quick) QUICK=1 ;;
+    --stage)
+        shift
+        if [[ $# -eq 0 ]]; then
+            usage
+            exit 2
+        fi
+        ONLY="$1"
+        ;;
     *)
-        echo "usage: ./ci.sh [--quick]" >&2
+        usage
         exit 2
         ;;
     esac
+    shift
 done
 
 STAGE_NAMES=()
@@ -70,6 +99,11 @@ robustness() {
     cargo test -q -p at-core --test proptests
 }
 
+codec_gate() {
+    cargo test -q -p at-serve --lib codec::
+    cargo test -q -p at-serve --test codec_proptests
+}
+
 serve() {
     cargo test -q -p at-serve
     cargo run --release -q -p at-bench --bin loadgen -- --smoke
@@ -80,31 +114,63 @@ serve_sessions() {
     cargo test -q -p at-serve --test store_interleave
 }
 
-stage fmt cargo fmt --all --check
-stage build cargo build --release
-stage tier1 cargo test -q
-
-if [[ $QUICK -eq 1 ]]; then
-    # The wire protocol is the one subsystem whose bugs tier-1 cannot see
-    # (the facade tests drive it through a healthy path only), so its
-    # unit + property tests ride in the inner loop too. Cheap: no server
-    # sockets, just encode/decode — including the keyed-frame
-    # version-gating properties.
-    stage proto cargo test -q -p at-serve --lib
-    stage proto-props cargo test -q -p at-serve --test proto_proptests
-else
-    stage robustness robustness
-    stage serve serve
-    stage serve-sessions serve_sessions
+lint() {
     # Whole workspace except the vendored registry stand-ins (vendor/*),
     # which mirror upstream APIs verbatim and are not held to our lints.
-    stage lint cargo clippy -q --workspace --exclude rand --exclude proptest \
+    cargo clippy -q --workspace --exclude rand --exclude proptest \
         --exclude criterion --all-targets -- -D warnings
-    stage bench-smoke cargo run --release -q -p at-bench --bin perf_report -- --smoke
+}
+
+# run_stage <name> — dispatch one gate by its public name.
+run_stage() {
+    case "$1" in
+    fmt) stage fmt cargo fmt --all --check ;;
+    build) stage build cargo build --release ;;
+    tier1) stage tier1 cargo test -q ;;
+    proto) stage proto cargo test -q -p at-serve --lib ;;
+    proto-props) stage proto-props cargo test -q -p at-serve --test proto_proptests ;;
+    codec) stage codec codec_gate ;;
+    robustness) stage robustness robustness ;;
+    serve) stage serve serve ;;
+    serve-sessions) stage serve-sessions serve_sessions ;;
+    lint) stage lint lint ;;
+    bench-smoke) stage bench-smoke cargo run --release -q -p at-bench --bin perf_report -- --smoke ;;
+    *)
+        echo "ci.sh: unknown stage '$1'" >&2
+        usage
+        exit 2
+        ;;
+    esac
+}
+
+if [[ -n $ONLY ]]; then
+    run_stage "$ONLY"
+elif [[ $QUICK -eq 1 ]]; then
+    run_stage fmt
+    run_stage build
+    run_stage tier1
+    # The wire protocol and its codec are the one subsystem whose bugs
+    # tier-1 cannot see (the facade tests drive them through a healthy
+    # path only), so their unit + property tests ride in the inner loop
+    # too. Cheap: no server sockets, just encode/decode — including the
+    # keyed-frame and compressed-frame version-gating properties.
+    run_stage proto
+    run_stage proto-props
+    run_stage codec
+else
+    run_stage fmt
+    run_stage build
+    run_stage tier1
+    run_stage codec
+    run_stage robustness
+    run_stage serve
+    run_stage serve-sessions
+    run_stage lint
+    run_stage bench-smoke
 fi
 
 echo
-echo "ci.sh: all gates passed$([[ $QUICK -eq 1 ]] && echo ' (--quick subset)')"
+echo "ci.sh: all gates passed$([[ $QUICK -eq 1 ]] && echo ' (--quick subset)')$([[ -n $ONLY ]] && echo " (--stage $ONLY)")"
 for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-12s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    printf '  %-14s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
 done

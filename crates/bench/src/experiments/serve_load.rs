@@ -13,18 +13,25 @@
 //!    counter > 0) while the server keeps answering — proven by a
 //!    ping + localize after the storm.
 //! 3. **mixed** — the Figure 1 topology: six AP ingestion connections
-//!    stream keyed spectra while app connections localize by key, under a
-//!    resident-spectra cap of half the working set. A sampler asserts the
-//!    `at_serve_sessions_spectra_resident` gauge never exceeds the cap,
-//!    and a quiesced keyed fix is checked bit-exact against the
-//!    in-process server before the storm.
+//!    stream keyed spectra over the protocol-v3 *quantized* uplink while
+//!    app connections localize by key, under a resident-spectra cap of
+//!    half the working set. A sampler asserts the
+//!    `at_serve_sessions_spectra_resident` gauge never exceeds the cap;
+//!    before the storm a quiesced keyed fix is checked bit-exact against
+//!    the in-process server (raw and lossless-delta uplinks) and the
+//!    quantized path's per-key fix displacement is measured against the
+//!    raw fusion. The server's uplink accounting yields the
+//!    compression-ratio number committed to `BENCH_SERVE.json`.
 //! 4. **drain** — a request is parked mid-batch-window while the server
 //!    shuts down; graceful drain must still answer it with a fix.
 //!
 //! `--smoke` runs the same four phases at CI scale (seconds, not
 //! minutes) and exits non-zero if the sustained throughput collapses
 //! below [`SMOKE_MIN_RPS`], the shed/drain behaviors disappear, the
-//! keyed parity breaks, or the resident gauge exceeds the cap.
+//! keyed parity breaks, the resident gauge exceeds the cap, the
+//! quantized uplink spends more than 0.15× the raw bytes per spectrum,
+//! the median quantized fix drifts ≥ 1 mm from the raw path, or the
+//! lossless replay stops being bit-exact.
 
 use crate::report::Report;
 use at_channel::geometry::pt;
@@ -33,7 +40,7 @@ use at_core::synthesis::SearchRegion;
 use at_core::{AoaSpectrum, ArrayTrackServer};
 use at_serve::{
     spawn, AdaptivePolicy, ApClient, AppClient, BatchPolicy, Client, ClientConfig, ClientError,
-    ServeConfig, ServiceConfig, SessionPolicy,
+    Encoding, ServeConfig, ServiceConfig, SessionPolicy,
 };
 use at_testbed::office;
 use std::io::Write as _;
@@ -298,6 +305,19 @@ struct MixedResult {
     evicted_cap: u64,
     parity_ok: bool,
     seconds: f64,
+    /// v3 compressed submissions admitted (pre-storm probes + storm).
+    compressed_frames: u64,
+    /// Bytes those submissions actually put on the wire.
+    uplink_wire_bytes: u64,
+    /// Bytes the same submissions would have cost as raw v2 frames.
+    uplink_raw_equiv_bytes: u64,
+    /// raw-equivalent / wire — the ≥8× acceptance number.
+    compression_ratio: f64,
+    /// Median fix displacement of the quantized wire path vs the raw
+    /// in-process fusion, metres, across all keys.
+    p50_displacement_m: f64,
+    /// Lossless-delta replay landed the bit-identical fix.
+    lossless_ok: bool,
 }
 
 /// Mixed phase: the paper's Figure 1 topology under load. Six AP
@@ -376,6 +396,58 @@ fn run_mixed(
             && fix.likelihood.to_bits() == expected.likelihood.to_bits()
     };
 
+    // Lossless-delta replay of the same session must land the identical
+    // fix: the XOR-delta wire form (protocol v3) is bit-exact end to end.
+    let lossless_ok = {
+        let mut ap_conn =
+            ApClient::connect_with(addr, ClientConfig::default(), Encoding::LosslessDelta)
+                .expect("ap connect");
+        for (ap, spectrum) in spectra[0].iter().enumerate() {
+            ap_conn
+                .submit(0, ap as u32, 0, spectrum)
+                .expect("lossless submit");
+        }
+        let mut app = AppClient::connect(addr, ClientConfig::default()).expect("app connect");
+        let fix = app.localize(0, None).expect("lossless fix");
+        fix.position.x.to_bits() == expected.position.x.to_bits()
+            && fix.position.y.to_bits() == expected.position.y.to_bits()
+            && fix.likelihood.to_bits() == expected.likelihood.to_bits()
+    };
+
+    // Quantized-uplink displacement, key by key against the raw
+    // in-process fix, before the storm muddies the sessions. The budget
+    // is a *median*: quantization noise (~2·10⁻⁴ relative) usually does
+    // not move the refined optimum at all, but near-plateau geometries
+    // can wander centimetres.
+    let mut displacements = Vec::with_capacity(keys);
+    {
+        let mut ap_conn =
+            ApClient::connect_with(addr, ClientConfig::default(), Encoding::Quantized)
+                .expect("ap connect");
+        let mut app = AppClient::connect(addr, ClientConfig::default()).expect("app connect");
+        for key in 0..keys {
+            let mut reference = ArrayTrackServer::new(service.region);
+            for (ap, spectrum) in spectra[key].iter().enumerate() {
+                reference.add_observation_from(ap, service.poses[ap], spectrum.clone(), 0);
+                ap_conn
+                    .submit(key as u64, ap as u32, 0, spectrum)
+                    .expect("quantized submit");
+            }
+            let raw_fix = reference.try_localize().expect("reference fix");
+            let fix = app.localize(key as u64, None).expect("quantized fix");
+            let dx = fix.position.x - raw_fix.position.x;
+            let dy = fix.position.y - raw_fix.position.y;
+            displacements.push((dx * dx + dy * dy).sqrt());
+        }
+        assert_eq!(
+            ap_conn.encoding(),
+            Encoding::Quantized,
+            "no fallback against our own server"
+        );
+    }
+    displacements.sort_by(|a, b| a.partial_cmp(b).expect("finite displacements"));
+    let p50_displacement_m = displacements[keys / 2];
+
     // Gauge sampler: the cap invariant is asserted on what an operator
     // would actually see, not on internal state.
     let resident_gauge =
@@ -399,7 +471,12 @@ fn run_mixed(
         .map(|ap| {
             let spectra = Arc::clone(&spectra);
             thread::spawn(move || {
-                let mut conn = ApClient::connect(addr, ClientConfig::default()).expect("ap");
+                // The storm runs entirely over the v3 quantized uplink —
+                // the compression numbers below are measured under the
+                // same write pressure the cap/gauge invariants are.
+                let mut conn =
+                    ApClient::connect_with(addr, ClientConfig::default(), Encoding::Quantized)
+                        .expect("ap");
                 for round in 0..rounds {
                     for key in 0..spectra.len() {
                         // Stagger per-AP key order so writers collide on
@@ -450,12 +527,18 @@ fn run_mixed(
     let max_resident_spectra = sampler.join().expect("sampler");
     let stats = server.shutdown();
 
+    let compression_ratio = if stats.uplink_compressed_bytes > 0 {
+        stats.uplink_raw_equiv_bytes as f64 / stats.uplink_compressed_bytes as f64
+    } else {
+        1.0
+    };
     let result = MixedResult {
         ap_conns: n_aps,
         app_threads: apps,
         keys,
         cap,
-        submits: n_aps * rounds * keys + n_aps, // storm + parity priming
+        // storm + raw/lossless parity priming + quantized probes
+        submits: n_aps * rounds * keys + n_aps * (2 + keys),
         fixes: fixes.load(Ordering::Relaxed),
         unresolved: unresolved.load(Ordering::Relaxed),
         shed: sheds.load(Ordering::Relaxed),
@@ -463,6 +546,12 @@ fn run_mixed(
         evicted_cap: stats.sessions_evicted_cap,
         parity_ok,
         seconds,
+        compressed_frames: stats.submits_compressed,
+        uplink_wire_bytes: stats.uplink_compressed_bytes,
+        uplink_raw_equiv_bytes: stats.uplink_raw_equiv_bytes,
+        compression_ratio,
+        p50_displacement_m,
+        lossless_ok,
     };
     report.line(format!(
         "  mixed: {} APs x {} keys, {} app fixes (+{} unresolved, {} shed) in {:.2} s; \
@@ -482,6 +571,20 @@ fn run_mixed(
             "BROKEN"
         },
     ));
+    report.line(format!(
+        "  mixed uplink: {} quantized frames, {} wire bytes vs {} raw-equivalent = {:.1}x; \
+         p50 fix displacement {:.2e} m, lossless {}",
+        result.compressed_frames,
+        result.uplink_wire_bytes,
+        result.uplink_raw_equiv_bytes,
+        result.compression_ratio,
+        result.p50_displacement_m,
+        if result.lossless_ok {
+            "bit-exact"
+        } else {
+            "BROKEN"
+        },
+    ));
     result
 }
 
@@ -496,7 +599,7 @@ fn write_json(
     // baseline" item asks for a re-baseline whenever this repo's numbers
     // were taken on a single core and the current host has more.
     let json = format!(
-        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  {},\n  \"sustained\": {{ \"clients\": {}, \"workers\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"mixed\": {{ \"ap_connections\": {}, \"app_threads\": {}, \"keys\": {}, \"resident_spectra_cap\": {}, \"submits\": {}, \"fixes\": {}, \"unresolved\": {}, \"shed\": {}, \"max_resident_spectra\": {:.0}, \"cap_evictions\": {}, \"parity_bit_exact\": {}, \"seconds\": {:.2} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
+        "{{\n  \"workload\": \"office geometry, 6 APs, {BINS}-bin lobe spectra, loopback TCP\",\n  {},\n  \"sustained\": {{ \"clients\": {}, \"workers\": {}, \"responses\": {}, \"seconds\": {:.2}, \"responses_per_sec\": {:.0}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }} }},\n  \"overload\": {{ \"clients\": {}, \"offered\": {}, \"fixes\": {}, \"shed\": {}, \"responsive_after\": {} }},\n  \"mixed\": {{ \"ap_connections\": {}, \"app_threads\": {}, \"keys\": {}, \"resident_spectra_cap\": {}, \"submits\": {}, \"fixes\": {}, \"unresolved\": {}, \"shed\": {}, \"max_resident_spectra\": {:.0}, \"cap_evictions\": {}, \"parity_bit_exact\": {}, \"seconds\": {:.2} }},\n  \"uplink\": {{ \"encoding\": \"quantized\", \"compressed_frames\": {}, \"wire_bytes\": {}, \"raw_equiv_bytes\": {}, \"compression_ratio\": {:.2}, \"bytes_per_spectrum\": {:.1}, \"raw_bytes_per_spectrum\": {:.1}, \"p50_fix_displacement_m\": {:.3e}, \"lossless_parity_bit_exact\": {} }},\n  \"drain\": {{ \"in_flight_drained\": {} }}\n}}\n",
         crate::experiments::perf::host_context_json(),
         sustained.clients,
         sustained.workers,
@@ -523,6 +626,14 @@ fn write_json(
         mixed.evicted_cap,
         mixed.parity_ok,
         mixed.seconds,
+        mixed.compressed_frames,
+        mixed.uplink_wire_bytes,
+        mixed.uplink_raw_equiv_bytes,
+        mixed.compression_ratio,
+        mixed.uplink_wire_bytes as f64 / mixed.compressed_frames.max(1) as f64,
+        mixed.uplink_raw_equiv_bytes as f64 / mixed.compressed_frames.max(1) as f64,
+        mixed.p50_displacement_m,
+        mixed.lossless_ok,
         drained,
     );
     let mut f = std::fs::File::create(BASELINE_PATH)?;
@@ -555,6 +666,18 @@ pub fn run() -> std::io::Result<()> {
             vec!["mixed_cap".into(), mixed.cap.to_string()],
             vec!["mixed_cap_evictions".into(), mixed.evicted_cap.to_string()],
             vec!["mixed_parity_bit_exact".into(), mixed.parity_ok.to_string()],
+            vec![
+                "uplink_compression_ratio".into(),
+                format!("{:.2}", mixed.compression_ratio),
+            ],
+            vec![
+                "uplink_p50_fix_displacement_m".into(),
+                format!("{:.3e}", mixed.p50_displacement_m),
+            ],
+            vec![
+                "uplink_lossless_bit_exact".into(),
+                mixed.lossless_ok.to_string(),
+            ],
             vec!["drained".into(), drained.to_string()],
         ],
     )?;
@@ -565,6 +688,17 @@ pub fn run() -> std::io::Result<()> {
         mixed.max_resident_spectra,
         mixed.cap
     );
+    assert!(
+        mixed.compression_ratio >= 8.0,
+        "quantized uplink compressed only {:.2}x (acceptance floor 8x)",
+        mixed.compression_ratio
+    );
+    assert!(
+        mixed.p50_displacement_m < 1e-3,
+        "median quantized fix displaced {} m (budget 1 mm)",
+        mixed.p50_displacement_m
+    );
+    assert!(mixed.lossless_ok, "lossless replay was not bit-exact");
     if sustained.rps < 1000.0 {
         report.line(format!(
             "  WARNING: sustained rate {:.0} rps below the 1k target on this host",
@@ -610,6 +744,26 @@ pub fn run_smoke() -> std::io::Result<()> {
     }
     if mixed.fixes == 0 {
         failures.push("mixed run produced no keyed fixes".into());
+    }
+    // Compression gates: bytes-per-spectrum over the quantized uplink
+    // must stay under 0.15× the raw wire form, the quantized path's
+    // median fix must sit inside the 1 mm budget, and lossless replay
+    // must be bit-exact.
+    if mixed.uplink_wire_bytes * 100 > mixed.uplink_raw_equiv_bytes * 15 {
+        failures.push(format!(
+            "mixed uplink spent {} bytes against {} raw-equivalent — \
+             over the 0.15x byte budget",
+            mixed.uplink_wire_bytes, mixed.uplink_raw_equiv_bytes
+        ));
+    }
+    if mixed.p50_displacement_m >= 1e-3 || mixed.p50_displacement_m.is_nan() {
+        failures.push(format!(
+            "quantized uplink displaced the median fix {} m (budget 1 mm)",
+            mixed.p50_displacement_m
+        ));
+    }
+    if !mixed.lossless_ok {
+        failures.push("lossless-delta replay diverged from the raw fix".into());
     }
     if !drained {
         failures.push("graceful shutdown dropped an in-flight request".into());

@@ -27,3 +27,19 @@ pub const SERVE_SESSIONS_EVICTED_TOTAL: &str = "at_serve_sessions_evicted_total"
 
 /// Counter: keyed spectrum submissions accepted into the store.
 pub const SERVE_SESSIONS_SUBMITS_TOTAL: &str = "at_serve_sessions_submits_total";
+
+/// Counter: bytes of spectrum-submission frames read off AP/client
+/// uplinks, labelled `encoding="raw"|"quantized"|"lossless"` — the
+/// quantity protocol v3's wire compression exists to shrink (loadgen's
+/// byte-budget smoke gate reads the same counter the operator would).
+pub const SERVE_UPLINK_BYTES_TOTAL: &str = "at_serve_uplink_bytes_total";
+
+/// Counter: compressed (v3 `SubmitCompressed*`) frames admitted,
+/// labelled `mode="quantized"|"lossless"`.
+pub const SERVE_COMPRESSED_FRAMES_TOTAL: &str = "at_serve_compressed_frames_total";
+
+/// Gauge: cumulative uplink compression ratio — raw-equivalent bytes of
+/// every compressed submission divided by the bytes actually on the
+/// wire. 1.0 until the first compressed frame arrives; ≥8 is the
+/// loadgen acceptance bar for the quantized mixed phase.
+pub const SERVE_UPLINK_COMPRESSION_RATIO: &str = "at_serve_uplink_compression_ratio";

@@ -13,10 +13,13 @@
 //! - [`Client`] — the legacy single-session peer: its own spectra, its own
 //!   fixes, one connection (protocol v1).
 //! - [`ApClient`] — the ingestion role: a long-lived AP-process connection
-//!   streaming keyed spectra into the server's session store (v2).
+//!   streaming keyed spectra into the server's session store (v2), under
+//!   a configurable wire [`Encoding`] (raw / quantized / lossless-delta,
+//!   v3) with automatic fallback to raw against pre-v3 servers.
 //! - [`AppClient`] — the query role: an application connection localizing
 //!   a key's store-resident spectra (v2).
 
+use crate::codec::Encoding;
 use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError};
 use at_channel::geometry::Point;
 use at_core::health::LocalizeError;
@@ -136,14 +139,22 @@ impl RemoteFix {
 pub struct Client {
     stream: TcpStream,
     cfg: ClientConfig,
+    /// Resolved peer addresses, kept for in-place reconnects (the
+    /// compressed-uplink raw fallback re-dials after an old server hangs
+    /// up on a frame it does not speak).
+    addrs: Vec<SocketAddr>,
 }
 
 impl Client {
     /// Connects to `addr`, retrying up to `cfg.max_attempts` times with
     /// `cfg.backoff` between attempts.
     pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
-        assert!(cfg.max_attempts >= 1, "need at least one attempt");
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        Self::connect_resolved(addrs, cfg)
+    }
+
+    fn connect_resolved(addrs: Vec<SocketAddr>, cfg: ClientConfig) -> Result<Self, ClientError> {
+        assert!(cfg.max_attempts >= 1, "need at least one attempt");
         if addrs.is_empty() {
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::AddrNotAvailable,
@@ -161,13 +172,21 @@ impl Client {
                         stream.set_nodelay(true)?;
                         stream.set_read_timeout(cfg.io_timeout)?;
                         stream.set_write_timeout(cfg.io_timeout)?;
-                        return Ok(Self { stream, cfg });
+                        return Ok(Self { stream, cfg, addrs });
                     }
                     Err(e) => last_err = Some(e),
                 }
             }
         }
         Err(ClientError::Io(last_err.expect("at least one attempt ran")))
+    }
+
+    /// Drops the current connection and dials the same peer again with
+    /// the same retry policy.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let fresh = Self::connect_resolved(self.addrs.clone(), self.cfg)?;
+        *self = fresh;
+        Ok(())
     }
 
     /// One request-response exchange.
@@ -206,6 +225,28 @@ impl Client {
         let reply = self.request(&Frame::SubmitSpectrum {
             ap_id,
             age,
+            spectrum: spectrum.clone(),
+        })?;
+        match Self::common(reply)? {
+            Frame::SubmitAck { observations } => Ok(observations),
+            _ => Err(ClientError::Unexpected("wanted SubmitAck")),
+        }
+    }
+
+    /// Submits a spectrum compressed with `mode` into this connection's
+    /// session (protocol v3). No fallback machinery — the policy-driven
+    /// path with automatic raw fallback is [`ApClient::submit`].
+    pub fn submit_compressed(
+        &mut self,
+        ap_id: u32,
+        age: u64,
+        mode: crate::codec::CompressedMode,
+        spectrum: &at_core::AoaSpectrum,
+    ) -> Result<u32, ClientError> {
+        let reply = self.request(&Frame::SubmitCompressed {
+            ap_id,
+            age,
+            mode,
             spectrum: spectrum.clone(),
         })?;
         match Self::common(reply)? {
@@ -304,22 +345,78 @@ fn deadline_to_ms(deadline: Option<Duration>) -> u32 {
 /// key it observes. The first keyed frame types the connection as an
 /// ingestion peer server-side; issuing queries from it is a role violation
 /// the server rejects (use [`AppClient`] for those).
+///
+/// The `encoding` policy picks the uplink wire form:
+/// [`Encoding::Raw`] sends v2 `SubmitKeyed` frames (every server),
+/// [`Encoding::Quantized`] / [`Encoding::LosslessDelta`] send v3
+/// `SubmitCompressedKeyed` frames (~10× / ~1.5× smaller). A pre-v3
+/// server answers the first compressed frame with a `ProtocolError` and
+/// hangs up — the client detects that, reconnects, downgrades itself to
+/// raw, and resubmits, so a fleet rollout never needs the APs and the
+/// server upgraded in lockstep.
 pub struct ApClient {
     inner: Client,
+    encoding: Encoding,
 }
 
 impl ApClient {
     /// Connects an ingestion session (same retry policy as
-    /// [`Client::connect`]).
+    /// [`Client::connect`]) streaming raw spectra — the
+    /// every-server-compatible default.
     pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        Self::connect_with(addr, cfg, Encoding::Raw)
+    }
+
+    /// Connects an ingestion session with an explicit uplink encoding
+    /// policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        cfg: ClientConfig,
+        encoding: Encoding,
+    ) -> Result<Self, ClientError> {
         Ok(Self {
             inner: Client::connect(addr, cfg)?,
+            encoding,
         })
     }
 
+    /// The uplink encoding currently in effect (observably downgraded to
+    /// [`Encoding::Raw`] after a fallback against an old server).
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Changes the uplink encoding for subsequent submissions.
+    pub fn set_encoding(&mut self, encoding: Encoding) {
+        self.encoding = encoding;
+    }
+
+    /// True when the error pattern-matches "the server does not speak
+    /// this frame": a `ProtocolError` reply (a courteous old server
+    /// reports the undecodable version before closing) or a hangup
+    /// mid-exchange (a terse one just closes).
+    fn version_rejection(e: &ClientError) -> bool {
+        match e {
+            ClientError::Protocol(_) => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
+
     /// Streams one spectrum from deployment AP `ap_id` for client `key`,
-    /// `age` refresh intervals old. Returns the key's resident spectrum
-    /// count after the store update.
+    /// `age` refresh intervals old, compressed per the client's
+    /// `encoding` policy. Returns the key's resident spectrum count after
+    /// the store update.
+    ///
+    /// With a compressed policy against a pre-v3 server, the first
+    /// submission triggers the raw fallback: reconnect, downgrade the
+    /// policy to [`Encoding::Raw`], resubmit the same spectrum losslessly.
     pub fn submit(
         &mut self,
         key: ClientKey,
@@ -327,12 +424,34 @@ impl ApClient {
         age: u64,
         spectrum: &at_core::AoaSpectrum,
     ) -> Result<u32, ClientError> {
-        let reply = self.inner.request(&Frame::SubmitKeyed {
+        if let Some(mode) = self.encoding.mode() {
+            let frame = Frame::SubmitCompressedKeyed {
+                key,
+                ap_id,
+                age,
+                mode,
+                spectrum: spectrum.clone(),
+            };
+            match self.submit_frame(&frame) {
+                Err(e) if Self::version_rejection(&e) => {
+                    // The server dropped the connection with the refusal;
+                    // dial again and fall back to the raw wire form.
+                    self.inner.reconnect()?;
+                    self.encoding = Encoding::Raw;
+                }
+                other => return other,
+            }
+        }
+        self.submit_frame(&Frame::SubmitKeyed {
             key,
             ap_id,
             age,
             spectrum: spectrum.clone(),
-        })?;
+        })
+    }
+
+    fn submit_frame(&mut self, frame: &Frame) -> Result<u32, ClientError> {
+        let reply = self.inner.request(frame)?;
         match Client::common(reply)? {
             Frame::SubmitAck { observations } => Ok(observations),
             _ => Err(ClientError::Unexpected("wanted SubmitAck")),

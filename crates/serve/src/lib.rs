@@ -8,6 +8,10 @@
 //! - [`proto`] — a versioned, length-prefixed binary wire protocol with a
 //!   total decoder: arbitrary bytes yield a frame, a "need more" signal,
 //!   or a typed error, never a panic;
+//! - [`codec`] — wire-level spectrum compression (protocol v3): 16-bit
+//!   log-domain quantization with a delta/varint/run-length tail for the
+//!   AP uplink (~10× smaller), plus a lossless XOR-delta mode for
+//!   bit-exact replay; the decompressor is total like the frame decoder;
 //! - [`queue`] — bounded closing queues, the backpressure primitive;
 //! - [`batch`] — the coalescing window that turns concurrent localize
 //!   requests into one shared-engine sweep;
@@ -31,6 +35,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod codec;
 pub mod proto;
 pub mod queue;
 pub mod server;
@@ -38,6 +43,7 @@ pub mod store;
 
 pub use batch::{AdaptivePolicy, BatchController, BatchPolicy, BATCH_WINDOW_GAUGE};
 pub use client::{ApClient, AppClient, Client, ClientConfig, ClientError, RemoteFix};
+pub use codec::{CodecError, CompressedMode, Encoding};
 pub use proto::{ApHealthReport, ClientKey, DecodeError, Frame, ReadError};
 pub use server::{spawn, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot};
 pub use store::{KeyedObs, SessionPolicy, SessionStore, StoreStats};

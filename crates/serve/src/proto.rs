@@ -15,20 +15,26 @@
 //! [`Frame::SubmitKeyed`] (AP ingestion role: a spectrum tagged with the
 //! [`ClientKey`] it belongs to) and [`Frame::LocalizeKey`] (application
 //! query role: localize whatever the server's session store holds for a
-//! key). Server → client frames: [`Frame::SubmitAck`], [`Frame::Fix`],
-//! [`Frame::Failed`], [`Frame::Overloaded`], [`Frame::DeadlineExceeded`],
-//! [`Frame::Pong`], [`Frame::ProtocolError`], [`Frame::ShuttingDown`].
-//! Spectra travel as raw `f64` bins; submission decoding enforces the
-//! [`AoaSpectrum`] invariants (finite, non-negative, ≥ 8 bins) so a
-//! decoded frame can always be turned into a spectrum without panicking.
+//! key) — and, version 3, the compressed uplink:
+//! [`Frame::SubmitCompressed`] and [`Frame::SubmitCompressedKeyed`],
+//! whose spectra travel as [`crate::codec`] blobs (16-bit log-domain
+//! quantized, or lossless XOR-delta for bit-exact replay) instead of raw
+//! `f64` bins. Server → client frames: [`Frame::SubmitAck`],
+//! [`Frame::Fix`], [`Frame::Failed`], [`Frame::Overloaded`],
+//! [`Frame::DeadlineExceeded`], [`Frame::Pong`], [`Frame::ProtocolError`],
+//! [`Frame::ShuttingDown`]. Every submission path — raw or compressed —
+//! enforces the [`AoaSpectrum`] invariants (finite, non-negative, ≥ 8
+//! bins) at decode, so a decoded frame can always be turned into a
+//! spectrum without panicking.
 //!
 //! **Versioning**: each frame is encoded with the *lowest* protocol
 //! version that defines it ([`Frame::wire_version`]), and the decoder
-//! accepts [`MIN_VERSION`]`..=`[`VERSION`] headers. A keyed frame type
-//! arriving under a version-1 header is a typed
+//! accepts [`MIN_VERSION`]`..=`[`VERSION`] headers. A keyed (v2) or
+//! compressed (v3) frame type arriving under an older header is a typed
 //! [`DecodeError::VersionGated`] — never a misparse — so an old peer that
 //! replays new type bytes fails loudly at the framing layer.
 
+use crate::codec::{self, CompressedMode};
 use at_core::health::{ApStatus, LocalizeError};
 use at_core::AoaSpectrum;
 use std::fmt;
@@ -38,11 +44,13 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 2] = *b"AT";
 
 /// Current protocol version. Version 2 added the keyed ingestion/query
-/// split ([`Frame::SubmitKeyed`], [`Frame::LocalizeKey`]); versions
-/// outside [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
+/// split ([`Frame::SubmitKeyed`], [`Frame::LocalizeKey`]); version 3
+/// added the compressed uplink ([`Frame::SubmitCompressed`],
+/// [`Frame::SubmitCompressedKeyed`]). Versions outside
+/// [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`DecodeError::BadVersion`] so incompatible peers fail loudly, not
 /// subtly.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version still decoded. Version-1 peers keep working:
 /// every pre-keyed frame type is unchanged on the wire.
@@ -145,6 +153,39 @@ pub enum Frame {
         /// Relative deadline in milliseconds (0 = none).
         deadline_ms: u32,
     },
+    /// Client → server (version 3): [`Frame::SubmitSpectrum`] with the
+    /// spectrum as a [`crate::codec`] blob instead of raw `f64` bins.
+    /// The spectrum held here is what the wire delivers: for
+    /// [`CompressedMode::Quantized`] that is the grid-snapped
+    /// ([`codec::quantized`]) spectrum, for
+    /// [`CompressedMode::Lossless`] the bit-exact original.
+    SubmitCompressed {
+        /// Deployment AP index the spectrum came from.
+        ap_id: u32,
+        /// Spectrum age in server refresh intervals (0 = fresh).
+        age: u64,
+        /// Which codec layout the blob uses.
+        mode: CompressedMode,
+        /// The spectrum as decoded from (or to be encoded into) the
+        /// compressed blob.
+        spectrum: AoaSpectrum,
+    },
+    /// AP process → server (version 3): [`Frame::SubmitKeyed`] with a
+    /// compressed spectrum — the high-volume uplink frame the codec
+    /// exists for.
+    SubmitCompressedKeyed {
+        /// The tracked client this spectrum belongs to.
+        key: ClientKey,
+        /// Deployment AP index the spectrum came from.
+        ap_id: u32,
+        /// Spectrum age in server refresh intervals at submission.
+        age: u64,
+        /// Which codec layout the blob uses.
+        mode: CompressedMode,
+        /// The spectrum as decoded from (or to be encoded into) the
+        /// compressed blob.
+        spectrum: AoaSpectrum,
+    },
     /// Server → client: submission accepted; `observations` is the
     /// session's accumulated spectrum count.
     SubmitAck {
@@ -205,6 +246,8 @@ mod ft {
     pub const PING: u8 = 0x05;
     pub const SUBMIT_KEYED: u8 = 0x06;
     pub const LOCALIZE_KEY: u8 = 0x07;
+    pub const SUBMIT_COMPRESSED: u8 = 0x08;
+    pub const SUBMIT_COMPRESSED_KEYED: u8 = 0x09;
     pub const SUBMIT_ACK: u8 = 0x81;
     pub const FIX: u8 = 0x82;
     pub const FAILED: u8 = 0x83;
@@ -324,6 +367,14 @@ impl<'a> Cur<'a> {
         self.u64().map(f64::from_bits)
     }
 
+    /// Everything not yet consumed (used by the compressed-spectrum tail,
+    /// whose own framing knows where it ends).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.b[self.i..];
+        self.i = self.b.len();
+        s
+    }
+
     fn done(&self) -> bool {
         self.i == self.b.len()
     }
@@ -376,6 +427,7 @@ fn min_version_for(ty: u8) -> Option<u8> {
         | ft::PROTOCOL_ERROR
         | ft::SHUTTING_DOWN => Some(1),
         ft::SUBMIT_KEYED | ft::LOCALIZE_KEY => Some(2),
+        ft::SUBMIT_COMPRESSED | ft::SUBMIT_COMPRESSED_KEYED => Some(3),
         _ => None,
     }
 }
@@ -390,6 +442,8 @@ impl Frame {
             Frame::Ping { .. } => ft::PING,
             Frame::SubmitKeyed { .. } => ft::SUBMIT_KEYED,
             Frame::LocalizeKey { .. } => ft::LOCALIZE_KEY,
+            Frame::SubmitCompressed { .. } => ft::SUBMIT_COMPRESSED,
+            Frame::SubmitCompressedKeyed { .. } => ft::SUBMIT_COMPRESSED_KEYED,
             Frame::SubmitAck { .. } => ft::SUBMIT_ACK,
             Frame::Fix { .. } => ft::FIX,
             Frame::Failed { .. } => ft::FAILED,
@@ -446,6 +500,28 @@ impl Frame {
             Frame::LocalizeKey { key, deadline_ms } => {
                 push_u64(out, *key);
                 push_u32(out, *deadline_ms);
+            }
+            Frame::SubmitCompressed {
+                ap_id,
+                age,
+                mode,
+                spectrum,
+            } => {
+                push_u32(out, *ap_id);
+                push_u64(out, *age);
+                codec::compress_into(out, spectrum, *mode);
+            }
+            Frame::SubmitCompressedKeyed {
+                key,
+                ap_id,
+                age,
+                mode,
+                spectrum,
+            } => {
+                push_u64(out, *key);
+                push_u32(out, *ap_id);
+                push_u64(out, *age);
+                codec::compress_into(out, spectrum, *mode);
             }
             Frame::ReportFailure { ap_id } => push_u32(out, *ap_id),
             Frame::Localize { deadline_ms } => push_u32(out, *deadline_ms),
@@ -583,6 +659,30 @@ fn decode_payload(version: u8, ty: u8, payload: &[u8]) -> Result<Frame, DecodeEr
             key: c.u64().ok_or(mal("truncated key"))?,
             deadline_ms: c.u32().ok_or(mal("truncated deadline"))?,
         },
+        ft::SUBMIT_COMPRESSED => {
+            let ap_id = c.u32().ok_or(mal("truncated ap_id"))?;
+            let age = c.u64().ok_or(mal("truncated age"))?;
+            let (mode, spectrum) = codec::decompress(c.rest()).map_err(|e| mal(e.reason()))?;
+            Frame::SubmitCompressed {
+                ap_id,
+                age,
+                mode,
+                spectrum,
+            }
+        }
+        ft::SUBMIT_COMPRESSED_KEYED => {
+            let key = c.u64().ok_or(mal("truncated key"))?;
+            let ap_id = c.u32().ok_or(mal("truncated ap_id"))?;
+            let age = c.u64().ok_or(mal("truncated age"))?;
+            let (mode, spectrum) = codec::decompress(c.rest()).map_err(|e| mal(e.reason()))?;
+            Frame::SubmitCompressedKeyed {
+                key,
+                ap_id,
+                age,
+                mode,
+                spectrum,
+            }
+        }
         ft::REPORT_FAILURE => Frame::ReportFailure {
             ap_id: c.u32().ok_or(mal("truncated ap_id"))?,
         },
@@ -751,6 +851,13 @@ impl From<io::Error> for ReadError {
 /// peer that disappears mid-frame is an [`ReadError::Io`] with
 /// `UnexpectedEof`.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ReadError> {
+    Ok(read_frame_counted(r)?.map(|(frame, _)| frame))
+}
+
+/// [`read_frame`], also reporting how many wire bytes the frame occupied
+/// (header + payload) — the server's uplink byte accounting reads this
+/// instead of re-encoding the frame.
+pub fn read_frame_counted<R: Read>(r: &mut R) -> Result<Option<(Frame, usize)>, ReadError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0;
     while got < HEADER_LEN {
@@ -778,7 +885,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ReadError> {
     match decode(&buf) {
         Ok(Some((frame, consumed))) => {
             debug_assert_eq!(consumed, buf.len());
-            Ok(Some(frame))
+            Ok(Some((frame, consumed)))
         }
         // A full header + payload must decode or error, never ask for more.
         Ok(None) => Err(ReadError::Decode(DecodeError::Malformed {
@@ -828,6 +935,35 @@ mod tests {
         roundtrip(Frame::LocalizeKey {
             key: 42,
             deadline_ms: 75,
+        });
+        // Lossless compressed frames round-trip any spectrum bit-exactly;
+        // quantized frames round-trip grid-snapped spectra bit-exactly
+        // (quantization is idempotent, so construct on the grid).
+        roundtrip(Frame::SubmitCompressed {
+            ap_id: 1,
+            age: 3,
+            mode: CompressedMode::Lossless,
+            spectrum: spectrum(),
+        });
+        roundtrip(Frame::SubmitCompressed {
+            ap_id: 1,
+            age: 3,
+            mode: CompressedMode::Quantized,
+            spectrum: codec::quantized(&spectrum()),
+        });
+        roundtrip(Frame::SubmitCompressedKeyed {
+            key: 0xFEED_F00D,
+            ap_id: 4,
+            age: 0,
+            mode: CompressedMode::Lossless,
+            spectrum: spectrum(),
+        });
+        roundtrip(Frame::SubmitCompressedKeyed {
+            key: 0xFEED_F00D,
+            ap_id: 4,
+            age: 0,
+            mode: CompressedMode::Quantized,
+            spectrum: codec::quantized(&spectrum()),
         });
         roundtrip(Frame::ReportFailure { ap_id: 2 });
         roundtrip(Frame::Localize { deadline_ms: 150 });
@@ -936,6 +1072,42 @@ mod tests {
             decode(&bytes),
             Err(DecodeError::BadVersion { got: VERSION + 1 })
         );
+    }
+
+    #[test]
+    fn compressed_frames_are_version_gated() {
+        // Compressed frames declare v3 on the wire; the same bytes under
+        // a v1 or v2 header are the typed VersionGated error — never a
+        // misparse, never accepted.
+        let mut bytes = Frame::SubmitCompressed {
+            ap_id: 0,
+            age: 0,
+            mode: CompressedMode::Lossless,
+            spectrum: spectrum(),
+        }
+        .encode();
+        assert_eq!(bytes[2], 3);
+        for old in [1, 2] {
+            bytes[2] = old;
+            assert_eq!(
+                decode(&bytes),
+                Err(DecodeError::VersionGated {
+                    frame: 0x08,
+                    got: old,
+                    need: 3,
+                })
+            );
+        }
+        // A corrupt codec blob under the right version is Malformed.
+        let mut bytes = Frame::SubmitCompressed {
+            ap_id: 0,
+            age: 0,
+            mode: CompressedMode::Lossless,
+            spectrum: spectrum(),
+        }
+        .encode();
+        bytes[HEADER_LEN + 12] = 0xBB; // clobber the codec mode byte
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed { .. })));
     }
 
     #[test]

@@ -34,7 +34,8 @@
 //! [`at_core::health::LocalizeError`] values over the wire.
 
 use crate::batch::{gather, AdaptivePolicy, BatchController, BatchPolicy};
-use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError};
+use crate::codec;
+use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError, HEADER_LEN};
 use crate::queue::Bounded;
 use crate::store::{SessionPolicy, SessionStore};
 use at_core::health::{HealthPolicy, HealthTracker};
@@ -166,6 +167,11 @@ struct Stats {
     deadline_missed: AtomicU64,
     fixes: AtomicU64,
     failures: AtomicU64,
+    submits_raw: AtomicU64,
+    submits_compressed: AtomicU64,
+    uplink_raw_bytes: AtomicU64,
+    uplink_compressed_bytes: AtomicU64,
+    uplink_raw_equiv_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the server's request counters.
@@ -194,6 +200,17 @@ pub struct StatsSnapshot {
     pub sessions_evicted_idle: u64,
     /// Keyed sessions evicted by resident-spectra cap pressure.
     pub sessions_evicted_cap: u64,
+    /// Raw (`f64`-bin) spectrum submissions admitted.
+    pub submits_raw: u64,
+    /// Compressed (v3) spectrum submissions admitted.
+    pub submits_compressed: u64,
+    /// Wire bytes of the raw submissions (header + payload).
+    pub uplink_raw_bytes: u64,
+    /// Wire bytes of the compressed submissions (header + payload).
+    pub uplink_compressed_bytes: u64,
+    /// What the compressed submissions would have cost as raw frames —
+    /// the numerator of the compression ratio.
+    pub uplink_raw_equiv_bytes: u64,
 }
 
 struct Shared {
@@ -394,6 +411,11 @@ impl ServerHandle {
             sessions_created: store.created,
             sessions_evicted_idle: store.evicted_idle,
             sessions_evicted_cap: store.evicted_cap,
+            submits_raw: s.submits_raw.load(Ordering::Relaxed),
+            submits_compressed: s.submits_compressed.load(Ordering::Relaxed),
+            uplink_raw_bytes: s.uplink_raw_bytes.load(Ordering::Relaxed),
+            uplink_compressed_bytes: s.uplink_compressed_bytes.load(Ordering::Relaxed),
+            uplink_raw_equiv_bytes: s.uplink_raw_equiv_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -494,12 +516,102 @@ fn role_mismatch(wanted: &str, got: &str) -> Frame {
     }
 }
 
+/// Uplink byte accounting at admission: every spectrum submission charges
+/// its wire size to the `encoding`-labelled uplink counter; compressed
+/// frames additionally record what the same spectrum would have cost raw,
+/// which keeps the cumulative compression-ratio gauge honest. Runs before
+/// the frame is normalized into its raw twin, because the mode is gone
+/// after that.
+fn account_uplink(shared: &Shared, frame: &Frame, wire_bytes: usize) {
+    let (mode, bins, keyed) = match frame {
+        Frame::SubmitSpectrum { spectrum, .. } => (None, spectrum.bins(), false),
+        Frame::SubmitKeyed { spectrum, .. } => (None, spectrum.bins(), true),
+        Frame::SubmitCompressed { mode, spectrum, .. } => (Some(*mode), spectrum.bins(), false),
+        Frame::SubmitCompressedKeyed { mode, spectrum, .. } => (Some(*mode), spectrum.bins(), true),
+        _ => return,
+    };
+    let wire = wire_bytes as u64;
+    match mode {
+        None => {
+            shared.stats.submits_raw.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .uplink_raw_bytes
+                .fetch_add(wire, Ordering::Relaxed);
+            at_obs::global()
+                .counter(
+                    at_obs::names::SERVE_UPLINK_BYTES_TOTAL,
+                    &[("encoding", "raw")],
+                )
+                .add(wire);
+        }
+        Some(mode) => {
+            // The raw twin of this frame: header + fixed fields + the
+            // `u32` bin count + 8 bytes per bin.
+            let fixed = if keyed { 8 + 4 + 8 } else { 4 + 8 };
+            let raw_equiv = HEADER_LEN as u64 + fixed + codec::raw_wire_bytes(bins);
+            let label = mode.encoding().label();
+            let s = &shared.stats;
+            s.submits_compressed.fetch_add(1, Ordering::Relaxed);
+            let wire_total = s.uplink_compressed_bytes.fetch_add(wire, Ordering::Relaxed) + wire;
+            let raw_total = s
+                .uplink_raw_equiv_bytes
+                .fetch_add(raw_equiv, Ordering::Relaxed)
+                + raw_equiv;
+            let obs = at_obs::global();
+            obs.counter(
+                at_obs::names::SERVE_UPLINK_BYTES_TOTAL,
+                &[("encoding", label)],
+            )
+            .add(wire);
+            obs.counter(
+                at_obs::names::SERVE_COMPRESSED_FRAMES_TOTAL,
+                &[("mode", label)],
+            )
+            .inc();
+            obs.gauge(at_obs::names::SERVE_UPLINK_COMPRESSION_RATIO, &[])
+                .set(raw_total as f64 / wire_total as f64);
+        }
+    }
+}
+
 fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
     let mut session: Vec<SessionObs> = Vec::new();
     let mut role = Role::Untyped;
     loop {
-        let frame = match proto::read_frame(&mut stream) {
-            Ok(Some(f)) => f,
+        let frame = match proto::read_frame_counted(&mut stream) {
+            Ok(Some((f, wire_bytes))) => {
+                account_uplink(shared, &f, wire_bytes);
+                // A compressed submission, once decompressed and
+                // accounted, is *exactly* its raw twin: same session
+                // semantics, same role typing, same store path — the
+                // codec is invisible past admission.
+                match f {
+                    Frame::SubmitCompressed {
+                        ap_id,
+                        age,
+                        spectrum,
+                        ..
+                    } => Frame::SubmitSpectrum {
+                        ap_id,
+                        age,
+                        spectrum,
+                    },
+                    Frame::SubmitCompressedKeyed {
+                        key,
+                        ap_id,
+                        age,
+                        spectrum,
+                        ..
+                    } => Frame::SubmitKeyed {
+                        key,
+                        ap_id,
+                        age,
+                        spectrum,
+                    },
+                    other => other,
+                }
+            }
             Ok(None) => return, // clean close
             Err(ReadError::Io(_)) => return,
             Err(ReadError::Decode(e)) => {

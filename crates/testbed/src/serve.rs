@@ -13,7 +13,7 @@ use crate::experiments::{compute_spectrum, ExperimentConfig};
 use at_channel::geometry::Point;
 use at_core::health::HealthPolicy;
 use at_serve::{
-    ApClient, Client, ClientConfig, ClientError, ClientKey, ServeConfig, ServerHandle,
+    ApClient, Client, ClientConfig, ClientError, ClientKey, Encoding, ServeConfig, ServerHandle,
     ServiceConfig,
 };
 use rand::Rng;
@@ -65,12 +65,28 @@ pub fn submit_position<R: Rng>(
 /// Connects one ingestion connection per AP of the deployment — the
 /// paper's Figure 1 topology, where each of the (six, for the office) AP
 /// processes holds its own long-lived link to the aggregation server.
+/// Streams raw (uncompressed) spectra; see [`ap_clients_with`] for a
+/// compressed uplink.
 pub fn ap_clients(
     addr: SocketAddr,
     n_aps: usize,
     cfg: ClientConfig,
 ) -> Result<Vec<ApClient>, ClientError> {
-    (0..n_aps).map(|_| ApClient::connect(addr, cfg)).collect()
+    ap_clients_with(addr, n_aps, cfg, Encoding::Raw)
+}
+
+/// [`ap_clients`] with an explicit uplink [`Encoding`] policy — the
+/// protocol-v3 compressed wire forms with automatic raw fallback against
+/// pre-v3 servers.
+pub fn ap_clients_with(
+    addr: SocketAddr,
+    n_aps: usize,
+    cfg: ClientConfig,
+    encoding: Encoding,
+) -> Result<Vec<ApClient>, ClientError> {
+    (0..n_aps)
+        .map(|_| ApClient::connect_with(addr, cfg, encoding))
+        .collect()
 }
 
 /// Captures a client transmission at every AP of `dep` and streams each
@@ -168,5 +184,55 @@ mod tests {
         assert_eq!(stats.sessions_created, 1);
         assert_eq!(stats.sessions_resident, 1);
         assert_eq!(stats.spectra_resident as usize, dep.aps.len());
+    }
+
+    /// The same Figure 1 topology over the protocol-v3 quantized uplink:
+    /// real MUSIC pseudospectra (not synthetic lobes) survive 16-bit
+    /// log-domain quantization with no loss of office-level accuracy, and
+    /// the server's uplink accounting shows the frames genuinely shrank.
+    #[test]
+    fn quantized_uplink_keeps_office_accuracy() {
+        let dep = Deployment::office(5);
+        let cfg = ExperimentConfig::arraytrack(5);
+        let server = serve_deployment(
+            &dep,
+            cfg.pipeline.music.bins,
+            HealthPolicy::default(),
+            ServeConfig::default(),
+        )
+        .expect("spawn");
+
+        let truth = dep.clients[1];
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut aps = ap_clients_with(
+            server.addr(),
+            dep.aps.len(),
+            ClientConfig::default(),
+            Encoding::Quantized,
+        )
+        .expect("connect aps");
+        let key: ClientKey = 11;
+        let n = submit_position_keyed(&mut aps, key, &dep, truth, &cfg, &mut rng).expect("submit");
+        assert_eq!(n as usize, dep.aps.len());
+        assert!(
+            aps.iter().all(|c| c.encoding() == Encoding::Quantized),
+            "no fallback against our own server"
+        );
+
+        let mut app =
+            at_serve::AppClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+        let fix = app.localize(key, None).expect("fix");
+        let err = fix.position.sub(truth).norm();
+        assert!(err < 4.0, "quantized office fix off by {err:.2} m");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.submits_compressed as usize, dep.aps.len());
+        assert_eq!(stats.submits_raw, 0);
+        assert!(
+            stats.uplink_compressed_bytes * 2 < stats.uplink_raw_equiv_bytes,
+            "physical MUSIC spectra must compress at least 2×: {} vs {}",
+            stats.uplink_compressed_bytes,
+            stats.uplink_raw_equiv_bytes
+        );
     }
 }
