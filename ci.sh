@@ -22,6 +22,15 @@
 #                  totality on arbitrary bytes, lossless bit-exactness,
 #                  quantization error bounds, compressed-frame version
 #                  gating)
+#   replay       — the capture-and-replay journal: reader property tests
+#                  (totality on arbitrary bytes, truncation at every
+#                  offset, bit-flip rejection), the record→replay
+#                  end-to-end tier (tests/replay_end_to_end.rs), and
+#                  replay_check --smoke, which replays the committed
+#                  golden journal (tests/fixtures/replay_office/) through
+#                  a fresh pipeline and fails on any bit divergence from
+#                  the recorded fixes (regenerate an intentionally
+#                  changed baseline with UPDATE_GOLDEN=1)
 #   robustness   — seeded fault-injection scenarios + golden spectra +
 #                  property tests (tests/faults.rs, tests/golden_spectrum.rs;
 #                  the scenario seed 4242 is pinned inside the tests so the
@@ -51,9 +60,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# The single source of truth for stage names: usage, the unknown-stage
+# error, and tests/ci_sh.rs all key off this list (run_stage's dispatch
+# must cover exactly these names).
+STAGES=(fmt build tier1 proto proto-props codec replay robustness serve serve-sessions lint bench-smoke)
+
 usage() {
     echo "usage: ./ci.sh [--quick] [--stage <name>]" >&2
-    echo "stages: fmt build tier1 proto proto-props codec robustness serve serve-sessions lint bench-smoke" >&2
+    echo "valid stages: ${STAGES[*]}" >&2
 }
 
 QUICK=0
@@ -104,6 +118,12 @@ codec_gate() {
     cargo test -q -p at-serve --test codec_proptests
 }
 
+replay_gate() {
+    cargo test -q -p at-replay --test journal_proptests
+    cargo test -q --test replay_end_to_end
+    cargo run --release -q -p at-bench --bin replay_check -- --smoke
+}
+
 serve() {
     cargo test -q -p at-serve
     cargo run --release -q -p at-bench --bin loadgen -- --smoke
@@ -130,6 +150,7 @@ run_stage() {
     proto) stage proto cargo test -q -p at-serve --lib ;;
     proto-props) stage proto-props cargo test -q -p at-serve --test proto_proptests ;;
     codec) stage codec codec_gate ;;
+    replay) stage replay replay_gate ;;
     robustness) stage robustness robustness ;;
     serve) stage serve serve ;;
     serve-sessions) stage serve-sessions serve_sessions ;;
@@ -157,11 +178,17 @@ elif [[ $QUICK -eq 1 ]]; then
     run_stage proto
     run_stage proto-props
     run_stage codec
+    # Bit-exact replay of the committed golden journal rides in the inner
+    # loop too: it is the one gate that notices a *numerical* behavior
+    # change anywhere in the MUSIC/fusion/session path, and tier-1 just
+    # ran the builds it needs.
+    run_stage replay
 else
     run_stage fmt
     run_stage build
     run_stage tier1
     run_stage codec
+    run_stage replay
     run_stage robustness
     run_stage serve
     run_stage serve-sessions

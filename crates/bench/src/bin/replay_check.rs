@@ -1,0 +1,157 @@
+//! The bit-exact replay regression gate.
+//!
+//! Replays the committed golden journal (`tests/fixtures/replay_office/`)
+//! through a fresh in-process pipeline and fails (non-zero exit) on any
+//! divergence from the recorded outcomes — a numerical-behavior change
+//! anywhere in the MUSIC/fusion/session path shows up here as a
+//! different bit pattern.
+//!
+//! - `--smoke`: in-process replay only (the CI gate);
+//! - default: additionally spawns a live server and replays the journal
+//!   over the wire through real client sessions;
+//! - `UPDATE_GOLDEN=1`: re-records the fixture from the scripted office
+//!   scenario, then verifies it replays cleanly. Commit the result when
+//!   a numerical change is *intended*.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use at_replay::{replay_in_process, replay_wire, Journal, ReplayReport, WireOptions};
+use at_serve::ServeConfig;
+use at_testbed::replay::{
+    golden_deployment, golden_experiment, golden_service, golden_session_policy, record_golden,
+};
+
+/// Segment size for the committed fixture: small enough that the golden
+/// journal spans several files, keeping the reader's cross-segment
+/// validation on the tested path.
+const GOLDEN_ROTATE_BYTES: u64 = 64 << 10;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/replay_office")
+}
+
+fn print_report(mode: &str, report: &ReplayReport) {
+    println!(
+        "{mode}: {} records, {} submits, {} queries ({} compared, {} skipped), \
+         {} divergences{}",
+        report.records,
+        report.submits,
+        report.queries,
+        report.compared,
+        report.skipped,
+        report.divergences,
+        if report.truncated_tail {
+            " [truncated tail]"
+        } else {
+            ""
+        },
+    );
+    for d in &report.divergence_details {
+        println!("  query seq {} key {}: {}", d.query_seq, d.key, d.detail);
+    }
+}
+
+fn gate(mode: &str, report: &ReplayReport) -> bool {
+    print_report(mode, report);
+    if report.truncated_tail {
+        eprintln!("{mode}: FAIL — golden journal has a truncated tail");
+        return false;
+    }
+    if report.compared == 0 {
+        eprintln!("{mode}: FAIL — nothing compared (empty or outcome-less journal)");
+        return false;
+    }
+    if report.divergences > 0 {
+        eprintln!(
+            "{mode}: FAIL — {} recorded outcome(s) did not reproduce bit-exactly",
+            report.divergences
+        );
+        return false;
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dir = fixture_dir();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        if dir.exists() {
+            if let Err(e) = std::fs::remove_dir_all(&dir) {
+                eprintln!("cannot clear {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        match record_golden(&dir, GOLDEN_ROTATE_BYTES) {
+            Ok(stats) => println!(
+                "recorded golden journal: {} records, {} bytes, {} segment(s)",
+                stats.records, stats.bytes, stats.segments
+            ),
+            Err(e) => {
+                eprintln!("golden recording failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let journal = match Journal::open(&dir) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "cannot open golden journal at {} ({e}); regenerate with \
+                 UPDATE_GOLDEN=1 cargo run --release -p at-bench --bin replay_check",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "golden journal: {} segment(s), {} records, fingerprint {:#018x}",
+        journal.segments,
+        journal.records.len(),
+        journal.meta.fingerprint
+    );
+
+    let dep = golden_deployment();
+    let cfg = golden_experiment();
+    let service = golden_service(&dep, &cfg);
+
+    let in_process = match replay_in_process(&journal, &service) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("in-process replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !gate("in-process", &in_process) {
+        return ExitCode::FAILURE;
+    }
+    if smoke {
+        return ExitCode::SUCCESS;
+    }
+
+    // Full mode: the same journal through a live server over loopback.
+    let serve_cfg = ServeConfig {
+        session: golden_session_policy(),
+        ..ServeConfig::default()
+    };
+    let server = match at_serve::spawn(service.clone(), serve_cfg, "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot spawn replay target server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr().to_string();
+    let wire = replay_wire(&journal, &addr, &service, &WireOptions::default());
+    server.shutdown();
+    match wire {
+        Ok(r) if gate("wire", &r) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("wire replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -43,3 +43,30 @@ pub const SERVE_COMPRESSED_FRAMES_TOTAL: &str = "at_serve_compressed_frames_tota
 /// wire. 1.0 until the first compressed frame arrives; ≥8 is the
 /// loadgen acceptance bar for the quantized mixed phase.
 pub const SERVE_UPLINK_COMPRESSION_RATIO: &str = "at_serve_uplink_compression_ratio";
+
+/// Counter: bytes appended to the capture journal (record frames plus
+/// segment headers), by the `at-replay` recorder tapping the server at
+/// admission.
+pub const REPLAY_JOURNAL_BYTES_TOTAL: &str = "at_replay_journal_bytes_total";
+
+/// Counter: records appended to the capture journal, labelled
+/// `event="submit"|"query"|"outcome"|"failure"|"tick"|"idle_reap"`.
+pub const REPLAY_RECORDS_TOTAL: &str = "at_replay_records_total";
+
+/// Counter: journal segments rotated out (closed at the size threshold
+/// and succeeded by a fresh segment file).
+pub const REPLAY_SEGMENTS_ROTATED_TOTAL: &str = "at_replay_segments_rotated_total";
+
+/// Counter: recorder write failures. The recorder is fail-open: after
+/// the first I/O error it stops journaling (and keeps counting here)
+/// rather than take the serving path down with it.
+pub const REPLAY_WRITE_ERRORS_TOTAL: &str = "at_replay_write_errors_total";
+
+/// Gauge: bytes in the journal segment currently being appended to
+/// (resets to the header size at every rotation).
+pub const REPLAY_SEGMENT_BYTES: &str = "at_replay_segment_bytes";
+
+/// Counter: replayed queries whose recomputed outcome differed from the
+/// recorded one — the quantity the `replay_check` CI gate requires to
+/// be zero on the committed golden journal.
+pub const REPLAY_DIVERGENCE_TOTAL: &str = "at_replay_divergence_total";

@@ -1,0 +1,98 @@
+//! Loading a whole journal directory: segment discovery, cross-segment
+//! validation, and the flattened record stream.
+
+use std::fs;
+use std::path::Path;
+
+use crate::format::{self, DecodedSegment, JournalError, JournalMeta, Record};
+
+/// A fully loaded, validated journal: the deployment it was recorded
+/// under and every record across all segments, in sequence order.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    /// Deployment identity (identical across segments, verified).
+    pub meta: JournalMeta,
+    /// All records, concatenated across segments, seq strictly +1.
+    pub records: Vec<Record>,
+    /// Number of segment files read.
+    pub segments: usize,
+    /// True if the final segment ends in an incomplete record — the
+    /// expected shape after a crash mid-append. The intact prefix is
+    /// still fully replayable.
+    pub truncated_tail: bool,
+}
+
+impl Journal {
+    /// Loads every `seg-*.atj` in `dir`, in filename order.
+    ///
+    /// Validation: all headers must carry identical deployment meta,
+    /// segment indices must be contiguous from 0, sequence numbers must
+    /// continue across segment boundaries, and only the *last* segment
+    /// may end in a truncated tail. Any violation is a typed
+    /// [`JournalError`]; nothing panics.
+    pub fn open(dir: &Path) -> Result<Journal, JournalError> {
+        let mut names: Vec<String> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("seg-") && n.ends_with(".atj"))
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            return Err(JournalError::NoSegments);
+        }
+
+        let mut meta: Option<JournalMeta> = None;
+        let mut records = Vec::new();
+        let mut truncated_tail = false;
+        let mut next_seq: Option<u64> = None;
+        let last = names.len() - 1;
+        for (i, name) in names.iter().enumerate() {
+            let bytes = fs::read(dir.join(name))?;
+            let DecodedSegment {
+                header,
+                records: segment_records,
+                truncated,
+            } = format::decode_segment(&bytes)?;
+            match meta {
+                None => meta = Some(header.meta),
+                Some(m) if m != header.meta => {
+                    return Err(JournalError::MetaMismatch { segment: i })
+                }
+                Some(_) => {}
+            }
+            if header.segment_index as usize != i {
+                return Err(JournalError::SegmentOutOfOrder {
+                    segment: i,
+                    reason: "segment index disagrees with filename order",
+                });
+            }
+            if let Some(expected) = next_seq {
+                if header.first_seq != expected {
+                    return Err(JournalError::SegmentOutOfOrder {
+                        segment: i,
+                        reason: "first_seq breaks sequence continuity",
+                    });
+                }
+            }
+            if truncated {
+                if i != last {
+                    return Err(JournalError::TruncatedMidJournal { segment: i });
+                }
+                truncated_tail = true;
+            }
+            next_seq = Some(
+                segment_records
+                    .last()
+                    .map_or(header.first_seq, |r| r.seq + 1),
+            );
+            records.extend(segment_records);
+        }
+
+        Ok(Journal {
+            meta: meta.expect("at least one segment"),
+            records,
+            segments: names.len(),
+            truncated_tail,
+        })
+    }
+}

@@ -286,6 +286,18 @@ impl Client {
         }
     }
 
+    /// Scrapes the server's live metrics (protocol v4): one
+    /// snapshot-consistent `at_obs` registry rendering in Prometheus text
+    /// form. Read-only and role-neutral, so ops tooling can ride any
+    /// existing connection.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(&Frame::MetricsQuery)?;
+        match Self::common(reply)? {
+            Frame::MetricsReport { text } => Ok(text),
+            _ => Err(ClientError::Unexpected("wanted MetricsReport")),
+        }
+    }
+
     /// Localizes this session's spectra. `deadline` is the time budget the
     /// server may spend (`None` = unbounded). `Overloaded` replies are
     /// retried up to `max_attempts` total tries, sleeping the longer of
@@ -468,6 +480,11 @@ impl ApClient {
     pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
         self.inner.ping(token)
     }
+
+    /// Scrapes the server's live metrics (role-neutral, protocol v4).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.inner.metrics()
+    }
 }
 
 /// The query role: an application connection asking "where is key K?"
@@ -505,5 +522,10 @@ impl AppClient {
     /// Liveness probe (role-neutral).
     pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
         self.inner.ping(token)
+    }
+
+    /// Scrapes the server's live metrics (role-neutral, protocol v4).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.inner.metrics()
     }
 }

@@ -45,5 +45,7 @@ pub use batch::{AdaptivePolicy, BatchController, BatchPolicy, BATCH_WINDOW_GAUGE
 pub use client::{ApClient, AppClient, Client, ClientConfig, ClientError, RemoteFix};
 pub use codec::{CodecError, CompressedMode, Encoding};
 pub use proto::{ApHealthReport, ClientKey, DecodeError, Frame, ReadError};
-pub use server::{spawn, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot};
+pub use server::{
+    spawn, spawn_recorded, RecordTap, ServeConfig, ServerHandle, ServiceConfig, StatsSnapshot,
+};
 pub use store::{KeyedObs, SessionPolicy, SessionStore, StoreStats};

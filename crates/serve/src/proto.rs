@@ -19,7 +19,9 @@
 //! [`Frame::SubmitCompressed`] and [`Frame::SubmitCompressedKeyed`],
 //! whose spectra travel as [`crate::codec`] blobs (16-bit log-domain
 //! quantized, or lossless XOR-delta for bit-exact replay) instead of raw
-//! `f64` bins. Server → client frames: [`Frame::SubmitAck`],
+//! `f64` bins — and, version 4, the read-only, role-neutral metrics
+//! scrape [`Frame::MetricsQuery`] answered with
+//! [`Frame::MetricsReport`]. Server → client frames: [`Frame::SubmitAck`],
 //! [`Frame::Fix`], [`Frame::Failed`], [`Frame::Overloaded`],
 //! [`Frame::DeadlineExceeded`], [`Frame::Pong`], [`Frame::ProtocolError`],
 //! [`Frame::ShuttingDown`]. Every submission path — raw or compressed —
@@ -46,11 +48,12 @@ pub const MAGIC: [u8; 2] = *b"AT";
 /// Current protocol version. Version 2 added the keyed ingestion/query
 /// split ([`Frame::SubmitKeyed`], [`Frame::LocalizeKey`]); version 3
 /// added the compressed uplink ([`Frame::SubmitCompressed`],
-/// [`Frame::SubmitCompressedKeyed`]). Versions outside
-/// [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
+/// [`Frame::SubmitCompressedKeyed`]); version 4 added the read-only
+/// metrics scrape ([`Frame::MetricsQuery`], [`Frame::MetricsReport`]).
+/// Versions outside [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`DecodeError::BadVersion`] so incompatible peers fail loudly, not
 /// subtly.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version still decoded. Version-1 peers keep working:
 /// every pre-keyed frame type is unchanged on the wire.
@@ -235,6 +238,20 @@ pub enum Frame {
     /// Server → client: the server is draining; the request was not
     /// admitted. Reconnect elsewhere or retry later.
     ShuttingDown,
+    /// Client → server (version 4): scrape the server's live metrics.
+    /// Read-only and role-neutral — any connection (AP, app, or untyped)
+    /// may ask without typing itself — answered with
+    /// [`Frame::MetricsReport`] holding a snapshot-consistent
+    /// `at_obs` Prometheus rendering.
+    MetricsQuery,
+    /// Server → client (version 4): answer to [`Frame::MetricsQuery`] —
+    /// one `at_obs::snapshot::MetricsSnapshot` in Prometheus text form
+    /// (truncated at the payload cap; the snapshot itself is taken
+    /// atomically, so every series in it is from the same instant).
+    MetricsReport {
+        /// Prometheus text exposition of the snapshot.
+        text: String,
+    },
 }
 
 /// Frame-type byte values (requests < 0x80, responses ≥ 0x80).
@@ -248,6 +265,7 @@ mod ft {
     pub const LOCALIZE_KEY: u8 = 0x07;
     pub const SUBMIT_COMPRESSED: u8 = 0x08;
     pub const SUBMIT_COMPRESSED_KEYED: u8 = 0x09;
+    pub const METRICS_QUERY: u8 = 0x0A;
     pub const SUBMIT_ACK: u8 = 0x81;
     pub const FIX: u8 = 0x82;
     pub const FAILED: u8 = 0x83;
@@ -256,7 +274,14 @@ mod ft {
     pub const PONG: u8 = 0x86;
     pub const PROTOCOL_ERROR: u8 = 0x87;
     pub const SHUTTING_DOWN: u8 = 0x88;
+    pub const METRICS_REPORT: u8 = 0x89;
 }
+
+/// Longest metrics text a [`Frame::MetricsReport`] can carry: the payload
+/// cap minus the text-length prefix. Longer renderings are truncated at
+/// encode (a scrape that loses its tail is still a scrape; an oversize
+/// frame is a protocol violation).
+pub const MAX_METRICS_TEXT: usize = MAX_PAYLOAD - 4;
 
 /// Why a byte sequence is not a valid frame. Every variant is
 /// connection-fatal (framing can no longer be trusted) except when
@@ -428,6 +453,7 @@ fn min_version_for(ty: u8) -> Option<u8> {
         | ft::SHUTTING_DOWN => Some(1),
         ft::SUBMIT_KEYED | ft::LOCALIZE_KEY => Some(2),
         ft::SUBMIT_COMPRESSED | ft::SUBMIT_COMPRESSED_KEYED => Some(3),
+        ft::METRICS_QUERY | ft::METRICS_REPORT => Some(4),
         _ => None,
     }
 }
@@ -452,6 +478,8 @@ impl Frame {
             Frame::Pong { .. } => ft::PONG,
             Frame::ProtocolError { .. } => ft::PROTOCOL_ERROR,
             Frame::ShuttingDown => ft::SHUTTING_DOWN,
+            Frame::MetricsQuery => ft::METRICS_QUERY,
+            Frame::MetricsReport { .. } => ft::METRICS_REPORT,
         }
     }
 
@@ -525,7 +553,20 @@ impl Frame {
             }
             Frame::ReportFailure { ap_id } => push_u32(out, *ap_id),
             Frame::Localize { deadline_ms } => push_u32(out, *deadline_ms),
-            Frame::ClearSession | Frame::DeadlineExceeded | Frame::ShuttingDown => {}
+            Frame::ClearSession
+            | Frame::DeadlineExceeded
+            | Frame::ShuttingDown
+            | Frame::MetricsQuery => {}
+            Frame::MetricsReport { text } => {
+                let mut n = text.len().min(MAX_METRICS_TEXT);
+                // Truncate on a UTF-8 boundary so the decoder's lossy
+                // conversion reproduces the bytes exactly.
+                while n > 0 && !text.is_char_boundary(n) {
+                    n -= 1;
+                }
+                push_u32(out, n as u32);
+                out.extend_from_slice(&text.as_bytes()[..n]);
+            }
             Frame::Ping { token } | Frame::Pong { token } => push_u64(out, *token),
             Frame::SubmitAck { observations } => push_u32(out, *observations),
             Frame::Fix {
@@ -764,6 +805,14 @@ fn decode_payload(version: u8, ty: u8, payload: &[u8]) -> Result<Frame, DecodeEr
             }
         }
         ft::SHUTTING_DOWN => Frame::ShuttingDown,
+        ft::METRICS_QUERY => Frame::MetricsQuery,
+        ft::METRICS_REPORT => {
+            let n = c.u32().ok_or(mal("truncated text length"))? as usize;
+            let raw = c.take(n).ok_or(mal("truncated metrics text"))?;
+            Frame::MetricsReport {
+                text: String::from_utf8_lossy(raw).into_owned(),
+            }
+        }
         other => return Err(DecodeError::UnknownType { got: other }),
     };
     if !c.done() {
@@ -1014,6 +1063,42 @@ mod tests {
             message: "ap index out of range".into(),
         });
         roundtrip(Frame::ShuttingDown);
+        roundtrip(Frame::MetricsQuery);
+        roundtrip(Frame::MetricsReport {
+            text: "# TYPE at_serve_requests_total counter\nat_serve_requests_total 3\n".into(),
+        });
+    }
+
+    #[test]
+    fn metrics_frames_are_version_gated() {
+        // The scrape pair encodes under v4; every older header is the
+        // typed VersionGated error, never a misparse.
+        let mut bytes = Frame::MetricsQuery.encode();
+        assert_eq!(bytes[2], 4, "metrics frames declare v4 on the wire");
+        for old in 1..4u8 {
+            bytes[2] = old;
+            assert_eq!(
+                decode(&bytes),
+                Err(DecodeError::VersionGated {
+                    frame: 0x0A,
+                    got: old,
+                    need: 4,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_metrics_text_truncates_to_the_cap() {
+        let frame = Frame::MetricsReport {
+            text: "x".repeat(MAX_METRICS_TEXT + 500),
+        };
+        let bytes = frame.encode();
+        assert!(bytes.len() <= HEADER_LEN + MAX_PAYLOAD);
+        match decode(&bytes).expect("valid").expect("complete").0 {
+            Frame::MetricsReport { text } => assert_eq!(text.len(), MAX_METRICS_TEXT),
+            other => panic!("wanted MetricsReport, got {other:?}"),
+        }
     }
 
     #[test]

@@ -213,6 +213,34 @@ pub struct StatsSnapshot {
     pub uplink_raw_equiv_bytes: u64,
 }
 
+/// The capture tap: a sink for every store-mutating event the server
+/// admits, called at admission time (post-decompress, pre-store) so what
+/// it sees is exactly what the session store and fusion will see. The
+/// `at-replay` recorder implements this to journal keyed traffic for
+/// deterministic replay; implementations must be cheap and must never
+/// panic — they run on the serving path.
+///
+/// Only the keyed multi-process path is tapped ([`Frame::SubmitKeyed`],
+/// [`Frame::LocalizeKey`], [`Frame::ReportFailure`], and the reaper's
+/// tick/idle events); legacy v1 per-connection sessions live and die with
+/// their socket and are not recordable.
+pub trait RecordTap: Send + Sync {
+    /// A keyed spectrum was admitted (about to enter the session store).
+    fn submit(&self, key: ClientKey, ap_id: u32, age: u64, spectrum: &AoaSpectrum);
+    /// An acquisition failure was reported for `ap_id`.
+    fn failure(&self, ap_id: u32);
+    /// A keyed localize request was admitted; returns the tap's sequence
+    /// number for it, echoed back through [`RecordTap::outcome`] once the
+    /// reply is known.
+    fn query(&self, key: ClientKey, deadline_ms: u32) -> u64;
+    /// The reply produced for the query journaled as `query_seq`.
+    fn outcome(&self, query_seq: u64, reply: &Frame);
+    /// The reaper advanced the store's staleness tick by one interval.
+    fn tick(&self);
+    /// The reaper evicted these idle sessions.
+    fn idle_reap(&self, keys: &[ClientKey]);
+}
+
 struct Shared {
     engine: LocalizationEngine,
     policy: HealthPolicy,
@@ -222,6 +250,7 @@ struct Shared {
     draining: AtomicBool,
     retry_after_ms: u32,
     stats: Stats,
+    tap: Option<Arc<dyn RecordTap>>,
 }
 
 /// Spawns a location server and returns a handle to it.
@@ -234,6 +263,18 @@ pub fn spawn(
     service: ServiceConfig,
     cfg: ServeConfig,
     addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    spawn_recorded(service, cfg, addr, None)
+}
+
+/// [`spawn`] with the record toggle on: every admitted keyed event is
+/// also fed to `tap` (see [`RecordTap`]) — the hook the `at-replay`
+/// journal recorder plugs into. `None` is exactly [`spawn`].
+pub fn spawn_recorded(
+    service: ServiceConfig,
+    cfg: ServeConfig,
+    addr: impl ToSocketAddrs,
+    tap: Option<Arc<dyn RecordTap>>,
 ) -> io::Result<ServerHandle> {
     service.validate();
     cfg.validate();
@@ -249,6 +290,7 @@ pub fn spawn(
         draining: AtomicBool::new(false),
         retry_after_ms: cfg.retry_after_ms,
         stats: Stats::default(),
+        tap,
     });
     let admission = Arc::new(Bounded::new(cfg.admission_depth, "admission"));
     let exec: Arc<Bounded<Vec<Job>>> = Arc::new(Bounded::new(cfg.exec_depth, "exec"));
@@ -353,13 +395,22 @@ fn run_reaper(shared: &Shared, stop: &ReaperStop) {
         }
         let now = Instant::now();
         // Catch up elapsed intervals even if the thread overslept, so
-        // real time maps to tick count.
+        // real time maps to tick count. Journal before apply, matching
+        // the submit path (tap at admission, then the store mutation).
         while now >= next_tick {
+            if let Some(tap) = &shared.tap {
+                tap.tick();
+            }
             shared.store.advance_tick();
             next_tick += policy.refresh_interval;
         }
         if now >= next_reap {
-            shared.store.reap_idle(now);
+            let evicted = shared.store.reap_idle(now);
+            if !evicted.is_empty() {
+                if let Some(tap) = &shared.tap {
+                    tap.idle_reap(&evicted);
+                }
+            }
             while now >= next_reap {
                 next_reap += policy.reap_interval;
             }
@@ -674,6 +725,9 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                     }
                 } else {
                     role = Role::Ingest;
+                    if let Some(tap) = &shared.tap {
+                        tap.submit(key, ap_id, age, &spectrum);
+                    }
                     shared
                         .health
                         .lock()
@@ -693,11 +747,16 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                     role_mismatch("query", "ingest")
                 } else {
                     role = Role::App;
+                    let query_seq = shared.tap.as_ref().map(|t| t.query(key, deadline_ms));
                     // An unknown (never-submitted or evicted) key fuses an
                     // empty observation set: the normal path answers with
                     // the typed `NoObservations` error.
                     let obs = keyed_obs(shared, key);
-                    handle_localize(shared, admission, obs, deadline_ms)
+                    let reply = handle_localize(shared, admission, obs, deadline_ms);
+                    if let (Some(tap), Some(seq)) = (&shared.tap, query_seq) {
+                        tap.outcome(seq, &reply);
+                    }
+                    reply
                 }
             }
             Frame::ReportFailure { ap_id } => {
@@ -710,6 +769,9 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                         ),
                     }
                 } else {
+                    if let Some(tap) = &shared.tap {
+                        tap.failure(ap_id);
+                    }
                     shared
                         .health
                         .lock()
@@ -725,6 +787,11 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                 Frame::SubmitAck { observations: 0 }
             }
             Frame::Ping { token } => Frame::Pong { token },
+            // Read-only and role-neutral: ops scrape from whatever
+            // connection is handy without typing it.
+            Frame::MetricsQuery => Frame::MetricsReport {
+                text: at_obs::global().snapshot().to_prometheus(),
+            },
             Frame::Localize { deadline_ms } => {
                 handle_localize(shared, admission, session.clone(), deadline_ms)
             }

@@ -388,10 +388,12 @@ impl SessionStore {
     }
 
     /// Evicts every session idle past the policy's timeout, as of `now`.
-    /// Returns the number of sessions evicted.
-    pub fn reap_idle(&self, now: Instant) -> usize {
+    /// Returns the evicted keys (empty when nothing was idle) — the
+    /// capture journal records them so a replay can apply the same
+    /// evictions at the same point in the event order.
+    pub fn reap_idle(&self, now: Instant) -> Vec<ClientKey> {
         let mut counts = self.counts.lock().expect("counts poisoned");
-        let mut evicted = 0usize;
+        let mut evicted: Vec<ClientKey> = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.lock().expect("shard poisoned");
             let expired: Vec<ClientKey> = shard
@@ -406,14 +408,14 @@ impl SessionStore {
                 if let Some(session) = shard.sessions.remove(&key) {
                     counts.sessions = counts.sessions.saturating_sub(1);
                     counts.spectra = counts.spectra.saturating_sub(session.spectra);
-                    evicted += 1;
+                    evicted.push(key);
                 }
             }
         }
-        if evicted > 0 {
+        if !evicted.is_empty() {
             self.evicted_idle
-                .fetch_add(evicted as u64, Ordering::Relaxed);
-            self.c_evicted_idle.add(evicted as u64);
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            self.c_evicted_idle.add(evicted.len() as u64);
             self.publish(&counts);
         }
         evicted
@@ -602,7 +604,7 @@ mod tests {
         store.submit(1, 0, 0, spectrum(0.1));
         std::thread::sleep(Duration::from_millis(40));
         store.submit(2, 0, 0, spectrum(0.2));
-        assert_eq!(store.reap_idle(Instant::now()), 1);
+        assert_eq!(store.reap_idle(Instant::now()), vec![1]);
         assert!(store.snapshot(1).is_none());
         assert!(store.snapshot(2).is_some());
         assert_eq!(store.stats().evicted_idle, 1);

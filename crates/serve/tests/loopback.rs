@@ -323,3 +323,39 @@ fn shutdown_drains_in_flight_requests_then_refuses_new_ones() {
     )
     .is_err());
 }
+
+#[test]
+fn metrics_query_returns_a_prometheus_snapshot_on_any_role() {
+    let server = spawn(
+        service(HealthPolicy::default()),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("spawn");
+
+    // An untyped (role-neutral) session can scrape without ever
+    // submitting or localizing.
+    let mut c = client(server.addr());
+    let text = c.metrics().expect("metrics");
+    assert!(
+        text.contains("at_serve_connections_total"),
+        "scrape missing serve counters: {}",
+        &text[..text.len().min(400)]
+    );
+    assert!(text.contains("# TYPE"), "not Prometheus text format");
+
+    // The scrape is read-only: the same session still takes the App
+    // role afterwards and gets the usual typed refusal on an empty
+    // session, and both typed roles can scrape too.
+    assert!(matches!(
+        c.localize(None),
+        Err(ClientError::Localize(LocalizeError::NoObservations))
+    ));
+    let mut ap =
+        at_serve::ApClient::connect(server.addr(), ClientConfig::default()).expect("ap connect");
+    assert!(ap.metrics().expect("ap metrics").contains("at_serve"));
+    let mut app =
+        at_serve::AppClient::connect(server.addr(), ClientConfig::default()).expect("app connect");
+    assert!(app.metrics().expect("app metrics").contains("at_serve"));
+    server.shutdown();
+}

@@ -19,7 +19,10 @@
 //!   errors — the apparatus behind the robustness tier and the Fig. 14-style
 //!   accuracy-vs-failures curves;
 //! - [`serve`]: the wire bridge — build an `at-serve` location service
-//!   from a deployment and push captured spectra to it over TCP.
+//!   from a deployment and push captured spectra to it over TCP;
+//! - [`replay`]: the golden capture-and-replay scenario — a scripted
+//!   office session recorded into an `at-replay` journal, behind the
+//!   committed bit-exact regression fixture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod deployment;
 pub mod experiments;
 pub mod metrics;
 pub mod office;
+pub mod replay;
 pub mod serve;
 pub mod stream;
 
@@ -42,6 +46,7 @@ pub use experiments::{
     ExperimentConfig,
 };
 pub use metrics::ErrorStats;
+pub use replay::{record_golden, GOLDEN_SEED};
 pub use serve::{
     ap_clients, serve_deployment, service_config, submit_position, submit_position_keyed,
 };

@@ -24,7 +24,11 @@
 //!   `examples/serve_demo.rs`);
 //! - [`obs`] — structured tracing spans and the lock-free metrics
 //!   registry every pipeline stage reports into (see DESIGN.md
-//!   §Observability).
+//!   §Observability);
+//! - [`replay`] — the deterministic capture-and-replay journal: record
+//!   every admitted submission and query at the server's admission tap,
+//!   then re-drive them through a fresh pipeline asserting bit-exact fix
+//!   parity (see DESIGN.md §4k).
 //!
 //! ## Minimal example
 //!
@@ -71,5 +75,6 @@ pub use at_dsp as dsp;
 pub use at_frontend as frontend;
 pub use at_linalg as linalg;
 pub use at_obs as obs;
+pub use at_replay as replay;
 pub use at_serve as serve;
 pub use at_testbed as testbed;
