@@ -27,10 +27,20 @@
 #                  offset, bit-flip rejection), the record→replay
 #                  end-to-end tier (tests/replay_end_to_end.rs), and
 #                  replay_check --smoke, which replays the committed
-#                  golden journal (tests/fixtures/replay_office/) through
-#                  a fresh pipeline and fails on any bit divergence from
-#                  the recorded fixes (regenerate an intentionally
-#                  changed baseline with UPDATE_GOLDEN=1)
+#                  golden journals (tests/fixtures/replay_office/ and the
+#                  epoch-spanning replay_reconfig/) through a fresh
+#                  pipeline and fails on any bit divergence from the
+#                  recorded fixes (regenerate an intentionally changed
+#                  baseline with UPDATE_GOLDEN=1; missing fixtures exit 2)
+#   topology     — the topology-epoch machinery: at-config unit tests
+#                  (canonical bytes, fingerprints, op application), the
+#                  Reconfigure/TopologyInfo property tests (decoder
+#                  totality, frame and op round trips, arbitrary op
+#                  sequences never panicking config or store), and the
+#                  live remove/move/re-add e2e tier under a concurrent
+#                  storm (tests/topology.rs: surviving-quorum fixes
+#                  bit-exact vs the in-process server, typed refusals
+#                  for bad ops / departed ids / cold joiners)
 #   robustness   — seeded fault-injection scenarios + golden spectra +
 #                  property tests (tests/faults.rs, tests/golden_spectrum.rs;
 #                  the scenario seed 4242 is pinned inside the tests so the
@@ -63,7 +73,7 @@ cd "$(dirname "$0")"
 # The single source of truth for stage names: usage, the unknown-stage
 # error, and tests/ci_sh.rs all key off this list (run_stage's dispatch
 # must cover exactly these names).
-STAGES=(fmt build tier1 proto proto-props codec replay robustness serve serve-sessions lint bench-smoke)
+STAGES=(fmt build tier1 proto proto-props codec replay topology robustness serve serve-sessions lint bench-smoke)
 
 usage() {
     echo "usage: ./ci.sh [--quick] [--stage <name>]" >&2
@@ -124,6 +134,12 @@ replay_gate() {
     cargo run --release -q -p at-bench --bin replay_check -- --smoke
 }
 
+topology_gate() {
+    cargo test -q -p at-config
+    cargo test -q -p at-serve --test topology_proptests
+    cargo test -q --test topology
+}
+
 serve() {
     cargo test -q -p at-serve
     cargo run --release -q -p at-bench --bin loadgen -- --smoke
@@ -151,6 +167,7 @@ run_stage() {
     proto-props) stage proto-props cargo test -q -p at-serve --test proto_proptests ;;
     codec) stage codec codec_gate ;;
     replay) stage replay replay_gate ;;
+    topology) stage topology topology_gate ;;
     robustness) stage robustness robustness ;;
     serve) stage serve serve ;;
     serve-sessions) stage serve-sessions serve_sessions ;;
@@ -183,12 +200,17 @@ elif [[ $QUICK -eq 1 ]]; then
     # change anywhere in the MUSIC/fusion/session path, and tier-1 just
     # ran the builds it needs.
     run_stage replay
+    # Topology epochs reconfigure a *live* server; the gate is cheap
+    # (synthetic spectra, loopback) and the epoch/fingerprint machinery
+    # cross-cuts config, store, wire, and replay — inner loop material.
+    run_stage topology
 else
     run_stage fmt
     run_stage build
     run_stage tier1
     run_stage codec
     run_stage replay
+    run_stage topology
     run_stage robustness
     run_stage serve
     run_stage serve-sessions

@@ -1,34 +1,71 @@
 //! The bit-exact replay regression gate.
 //!
-//! Replays the committed golden journal (`tests/fixtures/replay_office/`)
-//! through a fresh in-process pipeline and fails (non-zero exit) on any
-//! divergence from the recorded outcomes — a numerical-behavior change
-//! anywhere in the MUSIC/fusion/session path shows up here as a
-//! different bit pattern.
+//! Replays the committed golden journals through a fresh in-process
+//! pipeline and fails (non-zero exit) on any divergence from the
+//! recorded outcomes — a numerical-behavior change anywhere in the
+//! MUSIC/fusion/session path shows up here as a different bit pattern.
+//!
+//! Two fixtures are checked:
+//! - `tests/fixtures/replay_office/` — the steady-state six-AP office
+//!   session (topology epoch 0 throughout);
+//! - `tests/fixtures/replay_reconfig/` — the same deployment taken
+//!   through a remove → move → re-add epoch sequence, pinning the
+//!   topology-epoch machinery (journal epoch records, store/health
+//!   remaps, per-epoch engine rebuilds).
 //!
 //! - `--smoke`: in-process replay only (the CI gate);
-//! - default: additionally spawns a live server and replays the journal
-//!   over the wire through real client sessions;
-//! - `UPDATE_GOLDEN=1`: re-records the fixture from the scripted office
-//!   scenario, then verifies it replays cleanly. Commit the result when
-//!   a numerical change is *intended*.
+//! - default: additionally spawns a live server per fixture and replays
+//!   the journal over the wire through real client sessions (the
+//!   reconfig fixture drives live `Reconfigure` frames);
+//! - `UPDATE_GOLDEN=1`: re-records both fixtures from the scripted
+//!   scenarios, then verifies they replay cleanly. Commit the result
+//!   when a numerical change is *intended*.
+//!
+//! Exit codes: 0 clean, 1 divergence/error, 2 fixture missing.
 
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use at_replay::{replay_in_process, replay_wire, Journal, ReplayReport, WireOptions};
+use at_replay::{
+    replay_in_process, replay_wire, Journal, JournalError, RecorderStats, ReplayReport, WireOptions,
+};
 use at_serve::ServeConfig;
 use at_testbed::replay::{
     golden_deployment, golden_experiment, golden_service, golden_session_policy, record_golden,
+    record_reconfig_golden,
 };
 
-/// Segment size for the committed fixture: small enough that the golden
-/// journal spans several files, keeping the reader's cross-segment
+/// Segment size for the committed fixtures: small enough that the golden
+/// journals span several files, keeping the reader's cross-segment
 /// validation on the tested path.
 const GOLDEN_ROTATE_BYTES: u64 = 64 << 10;
 
-fn fixture_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/replay_office")
+/// Exit status when a fixture directory is absent or empty — distinct
+/// from a real divergence so CI wrappers can tell "regenerate" from
+/// "regression".
+const EXIT_MISSING_FIXTURE: u8 = 2;
+
+struct Fixture {
+    /// Directory name under `tests/fixtures/`.
+    name: &'static str,
+    /// The scripted scenario that (re)records it.
+    record: fn(&std::path::Path, u64) -> io::Result<RecorderStats>,
+}
+
+const FIXTURES: [Fixture; 2] = [
+    Fixture {
+        name: "replay_office",
+        record: record_golden,
+    },
+    Fixture {
+        name: "replay_reconfig",
+        record: record_reconfig_golden,
+    },
+];
+
+fn fixture_dir(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/fixtures/{name}"))
 }
 
 fn print_report(mode: &str, report: &ReplayReport) {
@@ -72,42 +109,56 @@ fn gate(mode: &str, report: &ReplayReport) -> bool {
     true
 }
 
-fn main() -> ExitCode {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let dir = fixture_dir();
+/// True when the open failure means "no fixture here" (as opposed to a
+/// corrupt one): the directory is absent or holds no segments.
+fn fixture_missing(e: &JournalError) -> bool {
+    match e {
+        JournalError::NoSegments => true,
+        JournalError::Io(e) => e.kind() == io::ErrorKind::NotFound,
+        _ => false,
+    }
+}
+
+fn check_fixture(fixture: &Fixture, smoke: bool) -> Result<(), ExitCode> {
+    let dir = fixture_dir(fixture.name);
 
     if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
         if dir.exists() {
             if let Err(e) = std::fs::remove_dir_all(&dir) {
                 eprintln!("cannot clear {}: {e}", dir.display());
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
-        match record_golden(&dir, GOLDEN_ROTATE_BYTES) {
+        match (fixture.record)(&dir, GOLDEN_ROTATE_BYTES) {
             Ok(stats) => println!(
-                "recorded golden journal: {} records, {} bytes, {} segment(s)",
-                stats.records, stats.bytes, stats.segments
+                "recorded {}: {} records, {} bytes, {} segment(s)",
+                fixture.name, stats.records, stats.bytes, stats.segments
             ),
             Err(e) => {
-                eprintln!("golden recording failed: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("recording {} failed: {e}", fixture.name);
+                return Err(ExitCode::FAILURE);
             }
         }
     }
 
     let journal = match Journal::open(&dir) {
         Ok(j) => j,
-        Err(e) => {
+        Err(e) if fixture_missing(&e) => {
             eprintln!(
-                "cannot open golden journal at {} ({e}); regenerate with \
+                "golden fixture missing at {}; regenerate it with \
                  UPDATE_GOLDEN=1 cargo run --release -p at-bench --bin replay_check",
                 dir.display()
             );
-            return ExitCode::FAILURE;
+            return Err(ExitCode::from(EXIT_MISSING_FIXTURE));
+        }
+        Err(e) => {
+            eprintln!("cannot open golden journal at {} ({e})", dir.display());
+            return Err(ExitCode::FAILURE);
         }
     };
     println!(
-        "golden journal: {} segment(s), {} records, fingerprint {:#018x}",
+        "{}: {} segment(s), {} records, fingerprint {:#018x}",
+        fixture.name,
         journal.segments,
         journal.records.len(),
         journal.meta.fingerprint
@@ -116,42 +167,57 @@ fn main() -> ExitCode {
     let dep = golden_deployment();
     let cfg = golden_experiment();
     let service = golden_service(&dep, &cfg);
+    let session = golden_session_policy();
 
-    let in_process = match replay_in_process(&journal, &service) {
+    let mode = format!("{} in-process", fixture.name);
+    let in_process = match replay_in_process(&journal, &service, session) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("in-process replay failed: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("{mode} replay failed: {e}");
+            return Err(ExitCode::FAILURE);
         }
     };
-    if !gate("in-process", &in_process) {
-        return ExitCode::FAILURE;
+    if !gate(&mode, &in_process) {
+        return Err(ExitCode::FAILURE);
     }
     if smoke {
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
-    // Full mode: the same journal through a live server over loopback.
+    // Full mode: the same journal through a live server over loopback
+    // (the reconfig fixture drives the server through its recorded
+    // remove/move/add sequence).
     let serve_cfg = ServeConfig {
-        session: golden_session_policy(),
+        session,
         ..ServeConfig::default()
     };
     let server = match at_serve::spawn(service.clone(), serve_cfg, "127.0.0.1:0") {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot spawn replay target server: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     let addr = server.addr().to_string();
-    let wire = replay_wire(&journal, &addr, &service, &WireOptions::default());
+    let wire = replay_wire(&journal, &addr, &service, session, &WireOptions::default());
     server.shutdown();
+    let mode = format!("{} wire", fixture.name);
     match wire {
-        Ok(r) if gate("wire", &r) => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::FAILURE,
+        Ok(r) if gate(&mode, &r) => Ok(()),
+        Ok(_) => Err(ExitCode::FAILURE),
         Err(e) => {
-            eprintln!("wire replay failed: {e}");
-            ExitCode::FAILURE
+            eprintln!("{mode} replay failed: {e}");
+            Err(ExitCode::FAILURE)
         }
     }
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    for fixture in &FIXTURES {
+        if let Err(code) = check_fixture(fixture, smoke) {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -681,7 +681,21 @@ pub fn run() -> std::io::Result<()> {
             vec!["drained".into(), drained.to_string()],
         ],
     )?;
-    write_json(&sustained, &overload, &mixed, drained)?;
+    // Re-baseline only where the worker pool actually fans out: the
+    // committed numbers came from a one-core container (see ROADMAP
+    // "Multi-core loadgen baseline"), and overwriting them from another
+    // starved host would just churn the JSON without fixing that.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores > 2 {
+        write_json(&sustained, &overload, &mixed, drained)?;
+    } else {
+        report.line(format!(
+            "  -> BENCH_SERVE.json re-baseline skipped: host has {cores} core(s), \
+             needs >2 for the worker pool to fan out (ROADMAP: multi-core loadgen baseline)"
+        ));
+    }
     assert!(
         mixed.max_resident_spectra <= mixed.cap as f64,
         "resident-spectra gauge peaked at {} over the cap {}",

@@ -43,7 +43,10 @@ use crate::synthesis::{
 };
 use at_channel::geometry::Point;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::TAU;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Coarse block edge length the engine targets, meters.
 const COARSE_BLOCK_M: f64 = 0.5;
@@ -55,6 +58,121 @@ const CANDIDATE_CELLS: usize = 8;
 
 /// Hill-climb starts (paper §2.5: "the three highest-likelihood cells").
 const HILL_CLIMB_STARTS: usize = 3;
+
+/// Entries the process-wide per-AP grid cache retains before it is
+/// cleared wholesale (a topology churning through hundreds of poses must
+/// not hold every historical grid forever).
+const GRID_CACHE_CAP: usize = 512;
+
+/// One AP's precomputed bearing caches: the fine per-cell bin grid and
+/// the dilated coarse block intervals. Depends only on
+/// `(pose, region, bins)` — never on the epoch or the rest of the
+/// topology — which is what makes it shareable across epochs.
+#[derive(Debug)]
+struct ApGrid {
+    fine: Vec<u16>,
+    blocks: Vec<(u16, u16)>,
+}
+
+/// Cache key: the exact bit patterns of everything an AP's grid depends
+/// on. Bit-level equality (not float equality) so a cache hit is
+/// guaranteed byte-identical to a recompute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct GridKey {
+    pose: [u64; 3],
+    region: [u64; 5],
+    bins: usize,
+}
+
+impl GridKey {
+    fn new(pose: &ApPose, region: &SearchRegion, bins: usize) -> Self {
+        Self {
+            pose: [
+                pose.center.x.to_bits(),
+                pose.center.y.to_bits(),
+                pose.axis_angle.to_bits(),
+            ],
+            region: [
+                region.min.x.to_bits(),
+                region.min.y.to_bits(),
+                region.max.x.to_bits(),
+                region.max.y.to_bits(),
+                region.resolution.to_bits(),
+            ],
+            bins,
+        }
+    }
+}
+
+static GRID_CACHE: OnceLock<Mutex<HashMap<GridKey, Arc<ApGrid>>>> = OnceLock::new();
+static GRID_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static GRID_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-wide per-AP grid cache since process
+/// start. An epoch rebuild that keeps `k` of `n` APs unchanged shows up
+/// as `k` hits and `n − k` misses (the topology tests pin this down).
+pub fn grid_cache_stats() -> (u64, u64) {
+    (
+        GRID_CACHE_HITS.load(Ordering::Relaxed),
+        GRID_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Looks up (or computes and caches) one AP's grid. The computation is a
+/// pure function of the key, so concurrent misses for the same key are
+/// benign — last insert wins with an identical value.
+fn ap_grid(pose: &ApPose, region: SearchRegion, bins: usize) -> Arc<ApGrid> {
+    let key = GridKey::new(pose, &region, bins);
+    let cache = GRID_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("grid cache lock").get(&key) {
+        GRID_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    GRID_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let grid = Arc::new(build_ap_grid(pose, region, bins));
+    let mut map = cache.lock().expect("grid cache lock");
+    if map.len() >= GRID_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, Arc::clone(&grid));
+    grid
+}
+
+/// Computes one AP's fine bearing grid (rows in parallel) and its coarse
+/// block intervals.
+fn build_ap_grid(pose: &ApPose, region: SearchRegion, bins: usize) -> ApGrid {
+    let (nx, ny) = region.grid_size();
+    let stride = coarse_stride(&region);
+    let bx = nx.div_ceil(stride);
+    let by = ny.div_ceil(stride);
+    let rows: Vec<usize> = (0..ny).collect();
+    let fine: Vec<u16> = parallel_map(&rows, available_threads(), |_, &iy| {
+        (0..nx)
+            .map(|ix| {
+                let theta = pose.bearing_to(region.cell_center(ix, iy));
+                (((theta / TAU) * bins as f64).round() as usize % bins) as u16
+            })
+            .collect::<Vec<u16>>()
+    })
+    .concat();
+    let mut blocks: Vec<(u16, u16)> = Vec::with_capacity(bx * by);
+    for byi in 0..by {
+        for bxi in 0..bx {
+            let mut cell_bins = Vec::with_capacity(stride * stride);
+            for iy in (byi * stride)..((byi + 1) * stride).min(ny) {
+                for ix in (bxi * stride)..((bxi + 1) * stride).min(nx) {
+                    cell_bins.push(fine[iy * nx + ix]);
+                }
+            }
+            blocks.push(circular_cover(&mut cell_bins, bins));
+        }
+    }
+    ApGrid { fine, blocks }
+}
+
+fn coarse_stride(region: &SearchRegion) -> usize {
+    ((COARSE_BLOCK_M / region.resolution).round() as usize).clamp(1, 256)
+}
 
 /// Gauge name: heap bytes retained by localize scratch arenas (set when an
 /// arena grows; steady-state queries never touch it).
@@ -175,6 +293,11 @@ pub struct LocalizationEngine {
     region: SearchRegion,
     poses: Vec<ApPose>,
     bins: usize,
+    /// Topology epoch this engine was built for (0 for a fixed
+    /// deployment). Purely a tag — the caches depend only on poses,
+    /// region, and bins — but serving layers use it to assert a batch
+    /// executes against the epoch its observations were snapshotted in.
+    epoch: u64,
     nx: usize,
     ny: usize,
     /// Coarse tiling: block edge in cells, and block-grid dimensions.
@@ -191,7 +314,7 @@ pub struct LocalizationEngine {
 }
 
 impl LocalizationEngine {
-    /// Precomputes the bearing caches for a deployment.
+    /// Precomputes the bearing caches for a deployment (epoch 0).
     ///
     /// `bins` is the angular resolution of the spectra that queries will
     /// carry (the pipeline default is 720).
@@ -199,55 +322,44 @@ impl LocalizationEngine {
     /// # Panics
     /// Panics if `poses` is empty or `bins` doesn't fit the `u16` grid.
     pub fn new(poses: &[ApPose], region: SearchRegion, bins: usize) -> Self {
+        Self::for_epoch(poses, region, bins, 0)
+    }
+
+    /// [`LocalizationEngine::new`] tagged with a topology epoch.
+    ///
+    /// Per-AP grids are fetched from the process-wide cache keyed by the
+    /// exact `(pose, region, bins)` bits, so rebuilding for a new epoch
+    /// pays only for the APs whose pose actually changed — an add/remove/
+    /// move of one AP out of `n` recomputes one grid, not `n`
+    /// ([`grid_cache_stats`] makes the reuse observable). Cache hits are
+    /// byte-identical to recomputes, so engines for the same geometry are
+    /// bit-exact regardless of what epoch path produced them.
+    pub fn for_epoch(poses: &[ApPose], region: SearchRegion, bins: usize, epoch: u64) -> Self {
         assert!(!poses.is_empty(), "need at least one AP pose");
         assert!(
             (8..=u16::MAX as usize + 1).contains(&bins),
             "bins out of range"
         );
         let (nx, ny) = region.grid_size();
-        let stride = ((COARSE_BLOCK_M / region.resolution).round() as usize).clamp(1, 256);
+        let stride = coarse_stride(&region);
         let bx = nx.div_ceil(stride);
         let by = ny.div_ceil(stride);
 
-        // Bearing grids, one AP at a time, rows in parallel, concatenated
-        // into one AP-major slab.
-        let rows: Vec<usize> = (0..ny).collect();
-        let threads = available_threads();
+        // Per-AP grids (cached or computed), concatenated into the
+        // AP-major slabs the fusion inner loop streams.
         let mut fine: Vec<u16> = Vec::with_capacity(poses.len() * nx * ny);
-        for pose in poses {
-            let grid = parallel_map(&rows, threads, |_, &iy| {
-                (0..nx)
-                    .map(|ix| {
-                        let theta = pose.bearing_to(region.cell_center(ix, iy));
-                        (((theta / TAU) * bins as f64).round() as usize % bins) as u16
-                    })
-                    .collect::<Vec<u16>>()
-            })
-            .concat();
-            fine.extend_from_slice(&grid);
-        }
-
-        // Coarse block intervals from the fine grids, AP-major.
         let mut blocks: Vec<(u16, u16)> = Vec::with_capacity(poses.len() * bx * by);
-        for ap in 0..poses.len() {
-            let grid = &fine[ap * nx * ny..(ap + 1) * nx * ny];
-            for byi in 0..by {
-                for bxi in 0..bx {
-                    let mut cell_bins = Vec::with_capacity(stride * stride);
-                    for iy in (byi * stride)..((byi + 1) * stride).min(ny) {
-                        for ix in (bxi * stride)..((bxi + 1) * stride).min(nx) {
-                            cell_bins.push(grid[iy * nx + ix]);
-                        }
-                    }
-                    blocks.push(circular_cover(&mut cell_bins, bins));
-                }
-            }
+        for pose in poses {
+            let grid = ap_grid(pose, region, bins);
+            fine.extend_from_slice(&grid.fine);
+            blocks.extend_from_slice(&grid.blocks);
         }
 
         Self {
             region,
             poses: poses.to_vec(),
             bins,
+            epoch,
             nx,
             ny,
             stride,
@@ -261,6 +373,11 @@ impl LocalizationEngine {
     /// The AP poses the engine was built for, in index order.
     pub fn poses(&self) -> &[ApPose] {
         &self.poses
+    }
+
+    /// The topology epoch this engine serves (0 for a fixed deployment).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The search region (and grid pitch) the engine covers.
@@ -634,6 +751,43 @@ mod tests {
     use super::*;
     use crate::synthesis::{heatmap, localize};
     use at_channel::geometry::{angle_diff, pt, Point};
+
+    /// An epoch rebuild that keeps `k` APs pays only for the changed
+    /// ones: the process-wide grid cache serves the unchanged APs, and
+    /// the slabs it yields are byte-identical to a cold build.
+    #[test]
+    fn epoch_rebuild_reuses_cached_grids_bit_exactly() {
+        let poses: Vec<ApPose> = (0..4)
+            .map(|i| ApPose {
+                center: pt(f64::from(i) * 3.0 + 100.0, 50.5),
+                axis_angle: f64::from(i) * 0.7,
+            })
+            .collect();
+        let region = SearchRegion::new(pt(100.0, 50.0), pt(106.0, 55.0));
+        let e0 = LocalizationEngine::for_epoch(&poses, region, 720, 0);
+        assert_eq!(e0.epoch(), 0);
+
+        // Remove AP 1: three grids survive unchanged.
+        let mut fewer = poses.clone();
+        fewer.remove(1);
+        let (h0, m0) = grid_cache_stats();
+        let e1 = LocalizationEngine::for_epoch(&fewer, region, 720, 1);
+        let (h1, m1) = grid_cache_stats();
+        assert_eq!(e1.epoch(), 1);
+        assert_eq!(h1 - h0, 3, "three unchanged APs must hit the cache");
+        assert_eq!(m1 - m0, 0);
+
+        // The reused slabs are byte-identical to the original build's.
+        let (nx, ny) = e0.grid_size();
+        let cells = nx * ny;
+        assert_eq!(e1.fine[..cells], e0.fine[..cells]); // old AP 0
+        assert_eq!(e1.fine[cells..2 * cells], e0.fine[2 * cells..3 * cells]); // old AP 2
+                                                                              // And a from-scratch engine over the same poses is bit-identical
+                                                                              // to the cache-served one.
+        let fresh = LocalizationEngine::for_epoch(&fewer, region, 720, 1);
+        assert_eq!(fresh.fine, e1.fine);
+        assert_eq!(fresh.blocks, e1.blocks);
+    }
 
     /// A spectrum with a single Gaussian lobe at `theta` radians (plus the
     /// mirror image a plain ULA would produce).

@@ -163,6 +163,24 @@ impl HealthTracker {
             .filter(|&ap| self.status(ap, policy) != ApStatus::Down)
             .count()
     }
+
+    /// Carries the tracker across a topology epoch: `old_to_new[i]` says
+    /// which new AP id inherits old AP `i`'s failure count (`None` drops
+    /// it — the AP departed or was moved/recalibrated). APs with no
+    /// preimage (joiners, movers) start cold at zero failures — healthy,
+    /// but with no spectra, so they surface through the existing
+    /// `QuorumNotMet` path until they submit.
+    pub fn remap(&mut self, old_to_new: &[Option<u32>], n_new: usize) {
+        let mut next = vec![0u32; n_new];
+        for (old, target) in old_to_new.iter().enumerate() {
+            if let (Some(&count), Some(new)) = (self.failures.get(old), target) {
+                if let Some(slot) = next.get_mut(*new as usize) {
+                    *slot = count;
+                }
+            }
+        }
+        self.failures = next;
+    }
 }
 
 /// Why the server could not produce a location fix. The hot loop returns

@@ -52,7 +52,7 @@ pub struct ApObservation {
 pub(crate) const LIKELIHOOD_FLOOR: f64 = 0.05;
 
 /// The rectangular search region and grid resolution for localization.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SearchRegion {
     /// Minimum corner.
     pub min: Point,

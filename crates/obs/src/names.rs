@@ -50,8 +50,16 @@ pub const SERVE_UPLINK_COMPRESSION_RATIO: &str = "at_serve_uplink_compression_ra
 pub const REPLAY_JOURNAL_BYTES_TOTAL: &str = "at_replay_journal_bytes_total";
 
 /// Counter: records appended to the capture journal, labelled
-/// `event="submit"|"query"|"outcome"|"failure"|"tick"|"idle_reap"`.
+/// `event="submit"|"query"|"outcome"|"failure"|"tick"|"idle_reap"|"epoch"`.
 pub const REPLAY_RECORDS_TOTAL: &str = "at_replay_records_total";
+
+/// Gauge: the serve deployment's current topology epoch (0 = the config
+/// the server started with; incremented by every applied `Reconfigure`).
+pub const SERVE_TOPOLOGY_EPOCH: &str = "at_serve_topology_epoch";
+
+/// Counter: topology reconfigurations applied on the live server,
+/// labelled `op="add"|"remove"|"move"`.
+pub const SERVE_RECONFIGURES_TOTAL: &str = "at_serve_reconfigures_total";
 
 /// Counter: journal segments rotated out (closed at the size threshold
 /// and succeeded by a fresh segment file).

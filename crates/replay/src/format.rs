@@ -7,11 +7,11 @@
 //! ```text
 //! header (48 bytes):
 //!   magic         8  b"ATJRNL01"
-//!   version       u32 LE   (format version, currently 1)
-//!   n_aps         u32 LE   deployment AP count
+//!   version       u32 LE   (format version, currently 2; 1 still reads)
+//!   n_aps         u32 LE   epoch-0 deployment AP count
 //!   bins          u32 LE   spectrum resolution
 //!   max_resident  u64 LE   session-store spectrum cap
-//!   fingerprint   u64 LE   FNV-1a over the full service config
+//!   fingerprint   u64 LE   canonical at-config fingerprint of epoch 0
 //!   segment_index u32 LE   position in the journal, from 0
 //!   first_seq     u64 LE   sequence number of the segment's first record
 //! records, back to back:
@@ -37,7 +37,8 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
-use at_core::health::{HealthPolicy, LocalizeError};
+use at_config::{SessionPolicy, TopologyOp};
+use at_core::health::LocalizeError;
 use at_core::AoaSpectrum;
 use at_serve::codec::{self, CompressedMode};
 use at_serve::{ClientKey, ServiceConfig};
@@ -45,8 +46,11 @@ use at_serve::{ClientKey, ServiceConfig};
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"ATJRNL01";
 
-/// Journal format version written by this crate.
-pub const FORMAT_VERSION: u32 = 1;
+/// Journal format version written by this crate. Version 2 added
+/// [`et::EPOCH`] records (topology reconfigurations) and switched the
+/// header fingerprint to the canonical `at-config` one; version-1
+/// journals (which by construction hold no epoch records) still decode.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed size of a segment header, bytes.
 pub const SEGMENT_HEADER_LEN: usize = 48;
@@ -70,6 +74,10 @@ pub mod et {
     pub const TICK: u8 = 5;
     /// Sessions evicted by the idle reaper.
     pub const IDLE_REAP: u8 = 6;
+    /// A topology reconfiguration committed (format v2): everything
+    /// before this record belongs to the previous epoch, everything
+    /// after to the new one.
+    pub const EPOCH: u8 = 7;
 }
 
 /// Outcome kind bytes within an [`et::OUTCOME`] record.
@@ -137,18 +145,21 @@ pub struct JournalMeta {
     pub bins: u32,
     /// Session-store resident-spectra cap (eviction order depends on it).
     pub max_resident_spectra: u64,
-    /// [`config_fingerprint`] of the full service config.
+    /// [`config_fingerprint`] — the canonical `at-config` fingerprint of
+    /// the epoch-0 [`at_config::SystemConfig`], the same number the live
+    /// server reports in `TopologyInfo` before any reconfiguration.
     pub fingerprint: u64,
 }
 
 impl JournalMeta {
-    /// The meta block for a service config plus store cap.
-    pub fn for_service(service: &ServiceConfig, max_resident_spectra: usize) -> Self {
+    /// The meta block for the service config and session policy the
+    /// recorded server was started with (its epoch-0 system config).
+    pub fn for_service(service: &ServiceConfig, session: SessionPolicy) -> Self {
         Self {
             n_aps: service.poses.len() as u32,
             bins: service.bins as u32,
-            max_resident_spectra: max_resident_spectra as u64,
-            fingerprint: config_fingerprint(service, max_resident_spectra),
+            max_resident_spectra: session.max_resident_spectra as u64,
+            fingerprint: config_fingerprint(service, session),
         }
     }
 }
@@ -217,6 +228,18 @@ pub enum Event {
         /// Evicted session keys.
         keys: Vec<ClientKey>,
     },
+    /// A topology reconfiguration committed between the surrounding
+    /// records (format v2). Replay applies `op` to its current system
+    /// config and refuses to continue if the result's canonical
+    /// fingerprint is not `fingerprint` — each epoch is pinned.
+    Epoch {
+        /// The new epoch number (first reconfigure produces epoch 1).
+        epoch: u64,
+        /// Canonical fingerprint of the new epoch's system config.
+        fingerprint: u64,
+        /// The applied topology operation.
+        op: TopologyOp,
+    },
 }
 
 impl Event {
@@ -229,6 +252,7 @@ impl Event {
             Event::Failure { .. } => "failure",
             Event::Tick => "tick",
             Event::IdleReap { .. } => "idle_reap",
+            Event::Epoch { .. } => "epoch",
         }
     }
 }
@@ -403,57 +427,13 @@ impl From<io::Error> for JournalError {
 // Config fingerprint
 // ---------------------------------------------------------------------------
 
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-    fn bytes(&mut self, b: &[u8]) {
-        for &x in b {
-            self.0 ^= x as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-}
-
-/// FNV-1a fingerprint of everything a deterministic replay depends on:
-/// AP poses, search region, resolution, health policy, and the session
-/// store's eviction cap.
-pub fn config_fingerprint(service: &ServiceConfig, max_resident_spectra: usize) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(service.poses.len() as u64);
-    for p in &service.poses {
-        h.f64(p.center.x);
-        h.f64(p.center.y);
-        h.f64(p.axis_angle);
-    }
-    h.f64(service.region.min.x);
-    h.f64(service.region.min.y);
-    h.f64(service.region.max.x);
-    h.f64(service.region.max.y);
-    h.f64(service.region.resolution);
-    h.u64(service.bins as u64);
-    let HealthPolicy {
-        degraded_after,
-        down_after,
-        max_spectrum_age,
-        min_quorum,
-        degraded_weight,
-    } = service.policy;
-    h.u64(degraded_after as u64);
-    h.u64(down_after as u64);
-    h.u64(max_spectrum_age);
-    h.u64(min_quorum as u64);
-    h.f64(degraded_weight);
-    h.u64(max_resident_spectra as u64);
-    h.0
+/// Canonical fingerprint of everything a deterministic replay depends
+/// on: the [`at_config::SystemConfig`] the recorded server was started
+/// with, hashed over its canonical byte serialization. This is the same
+/// number the live server reports in `TopologyInfo` for the matching
+/// epoch, so the recorder, the replayer, and the server cannot drift.
+pub fn config_fingerprint(service: &ServiceConfig, session: SessionPolicy) -> u64 {
+    service.to_system(session).fingerprint()
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +476,7 @@ pub fn encode_payload(out: &mut Vec<u8>, record: &Record) {
         Event::Failure { .. } => et::FAILURE,
         Event::Tick => et::TICK,
         Event::IdleReap { .. } => et::IDLE_REAP,
+        Event::Epoch { .. } => et::EPOCH,
     };
     out.push(type_byte);
     push_u64(out, record.seq);
@@ -568,6 +549,15 @@ pub fn encode_payload(out: &mut Vec<u8>, record: &Record) {
                 push_u64(out, k);
             }
         }
+        Event::Epoch {
+            epoch,
+            fingerprint,
+            op,
+        } => {
+            push_u64(out, *epoch);
+            push_u64(out, *fingerprint);
+            op.encode(out);
+        }
     }
 }
 
@@ -638,7 +628,7 @@ pub fn decode_header(bytes: &[u8]) -> Result<SegmentHeader, JournalError> {
         return Err(JournalError::BadMagic { got: magic });
     }
     let version = c.u32().unwrap();
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(JournalError::BadVersion { got: version });
     }
     Ok(SegmentHeader {
@@ -731,6 +721,20 @@ fn decode_payload(payload: &[u8], at: usize) -> Result<Record, JournalError> {
                 keys.push(c.u64().ok_or(mal("idle_reap keys short"))?);
             }
             Event::IdleReap { keys }
+        }
+        et::EPOCH => {
+            let epoch = c.u64().ok_or(mal("epoch missing number"))?;
+            let fingerprint = c.u64().ok_or(mal("epoch missing fingerprint"))?;
+            let rest = c.rest();
+            let (op, used) = TopologyOp::decode(rest).map_err(|_| mal("epoch op undecodable"))?;
+            if used != rest.len() {
+                return Err(mal("trailing bytes after epoch op"));
+            }
+            Event::Epoch {
+                epoch,
+                fingerprint,
+                op,
+            }
         }
         _ => return Err(mal("unknown record type")),
     };

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use at_config::{SystemConfig, TopologyOp};
 use at_core::health::{HealthTracker, LocalizeError};
 use at_core::{fuse_batch_into, FusedObservation, LocalizationEngine, LocationEstimate};
 use at_obs::names;
@@ -125,8 +126,12 @@ fn comparable(outcome: &Outcome) -> bool {
     matches!(outcome, Outcome::Fix { .. } | Outcome::Failed { .. })
 }
 
-fn check_config(journal: &Journal, service: &ServiceConfig) -> Result<(), JournalError> {
-    let got = config_fingerprint(service, journal.meta.max_resident_spectra as usize);
+fn check_config(
+    journal: &Journal,
+    service: &ServiceConfig,
+    session: SessionPolicy,
+) -> Result<(), JournalError> {
+    let got = config_fingerprint(service, session);
     if got != journal.meta.fingerprint {
         return Err(JournalError::ConfigMismatch {
             expected: journal.meta.fingerprint,
@@ -136,6 +141,7 @@ fn check_config(journal: &Journal, service: &ServiceConfig) -> Result<(), Journa
     // Guard the invariants the store/engine assert on, so a tampered
     // header surfaces as a typed error instead of a panic.
     if journal.meta.n_aps as usize != service.poses.len()
+        || journal.meta.max_resident_spectra != session.max_resident_spectra as u64
         || journal.meta.max_resident_spectra < journal.meta.n_aps as u64
         || journal.meta.n_aps == 0
     {
@@ -147,11 +153,36 @@ fn check_config(journal: &Journal, service: &ServiceConfig) -> Result<(), Journa
     Ok(())
 }
 
-fn check_ap(journal: &Journal, seq: u64, ap_id: u32) -> Result<(), JournalError> {
-    if ap_id >= journal.meta.n_aps {
+/// AP ids are validated against the *current epoch's* AP count, not the
+/// epoch-0 count in the journal header — a post-`Add` submit to a new AP
+/// is legal, a post-`Remove` submit to the vanished slot is not.
+fn check_ap(n_aps: usize, seq: u64, ap_id: u32) -> Result<(), JournalError> {
+    if ap_id as usize >= n_aps {
         return Err(JournalError::BadApId { seq, ap_id });
     }
     Ok(())
+}
+
+/// Applies a recorded epoch transition to the replayer's system config,
+/// refusing to continue if the op no longer applies or the resulting
+/// canonical fingerprint disagrees with the recorded pin.
+fn apply_epoch(
+    system: &SystemConfig,
+    op: &TopologyOp,
+    recorded_fingerprint: u64,
+) -> Result<(SystemConfig, at_config::ApMapping), JournalError> {
+    let (next, mapping) = system.apply(op).map_err(|_| JournalError::Malformed {
+        at: 0,
+        reason: "recorded epoch op does not apply to the current topology",
+    })?;
+    let got = next.fingerprint();
+    if got != recorded_fingerprint {
+        return Err(JournalError::ConfigMismatch {
+            expected: recorded_fingerprint,
+            got,
+        });
+    }
+    Ok((next, mapping))
 }
 
 /// Indexes recorded outcomes by the `seq` of their query record.
@@ -169,27 +200,26 @@ fn outcome_index(journal: &Journal) -> HashMap<u64, &Outcome> {
 /// Replays a journal through a fresh in-process store + engine + health
 /// tracker, asserting bit-exact parity for every comparable outcome.
 ///
-/// `service` must be the deployment the journal was recorded under
-/// (checked by fingerprint). Never panics on journal content: corrupt
-/// records were already rejected by the reader, and remaining
-/// inconsistencies (out-of-range APs, inconsistent meta) return typed
+/// `service` + `session` must be the epoch-0 deployment the journal was
+/// recorded under (checked by canonical fingerprint); recorded
+/// [`Event::Epoch`] transitions are re-applied, re-fingerprinted against
+/// their recorded pin, and the engine/store/health remapped exactly as
+/// the live server did. Never panics on journal content: corrupt records
+/// were already rejected by the reader, and remaining inconsistencies
+/// (out-of-range APs, inconsistent meta, stale epoch ops) return typed
 /// errors.
 pub fn replay_in_process(
     journal: &Journal,
     service: &ServiceConfig,
+    session: SessionPolicy,
 ) -> Result<ReplayReport, JournalError> {
-    check_config(journal, service)?;
-    let engine = LocalizationEngine::new(&service.poses, service.region, service.bins);
+    check_config(journal, service, session)?;
+    let mut system = service.to_system(session);
+    let mut engine = LocalizationEngine::for_epoch(&system.poses, system.region, system.bins, 0);
     // Reaper-driven time (idle eviction, staleness ticks) replays from
     // journal events, so the policy's wall-clock knobs are inert here.
-    let store = SessionStore::new(
-        service.poses.len(),
-        SessionPolicy {
-            max_resident_spectra: journal.meta.max_resident_spectra as usize,
-            ..SessionPolicy::default()
-        },
-    );
-    let mut health = HealthTracker::new(service.poses.len());
+    let store = SessionStore::new(system.poses.len(), system.session);
+    let mut health = HealthTracker::new(system.poses.len());
     let outcomes = outcome_index(journal);
 
     let mut report = ReplayReport {
@@ -206,7 +236,7 @@ pub fn replay_in_process(
                 age,
                 spectrum,
             } => {
-                check_ap(journal, record.seq, *ap_id)?;
+                check_ap(system.poses.len(), record.seq, *ap_id)?;
                 report.submits += 1;
                 // Mirrors the live admission order: success report, then
                 // store insert.
@@ -214,7 +244,7 @@ pub fn replay_in_process(
                 store.submit(*key, *ap_id as usize, *age, Arc::new(spectrum.clone()));
             }
             Event::Failure { ap_id } => {
-                check_ap(journal, record.seq, *ap_id)?;
+                check_ap(system.poses.len(), record.seq, *ap_id)?;
                 health.report_failure(*ap_id as usize);
             }
             Event::Tick => store.advance_tick(),
@@ -222,6 +252,17 @@ pub fn replay_in_process(
                 for key in keys {
                     store.clear(*key);
                 }
+            }
+            Event::Epoch {
+                epoch,
+                fingerprint,
+                op,
+            } => {
+                let (next, mapping) = apply_epoch(&system, op, *fingerprint)?;
+                engine = LocalizationEngine::for_epoch(&next.poses, next.region, next.bins, *epoch);
+                store.remap(&mapping.old_to_new, mapping.n_new);
+                health.remap(&mapping.old_to_new, mapping.n_new);
+                system = next;
             }
             Event::Query { key, .. } => {
                 report.queries += 1;
@@ -247,7 +288,7 @@ pub fn replay_in_process(
                     &engine,
                     &[obs.as_slice()],
                     &health,
-                    &service.policy,
+                    &system.health,
                     1,
                     &mut results,
                 );
@@ -319,9 +360,11 @@ pub fn replay_wire(
     journal: &Journal,
     addr: &str,
     service: &ServiceConfig,
+    session: SessionPolicy,
     opts: &WireOptions,
 ) -> Result<ReplayReport, JournalError> {
-    check_config(journal, service)?;
+    check_config(journal, service, session)?;
+    let mut system = service.to_system(session);
     let cfg = ClientConfig::default();
     let mut aps = Vec::with_capacity(journal.meta.n_aps as usize);
     for _ in 0..journal.meta.n_aps {
@@ -354,14 +397,14 @@ pub fn replay_wire(
                 age,
                 spectrum,
             } => {
-                check_ap(journal, record.seq, *ap_id)?;
+                check_ap(aps.len(), record.seq, *ap_id)?;
                 report.submits += 1;
                 aps[*ap_id as usize]
                     .submit(*key, *ap_id, *age, spectrum)
                     .map_err(wire_err)?;
             }
             Event::Failure { ap_id } => {
-                check_ap(journal, record.seq, *ap_id)?;
+                check_ap(aps.len(), record.seq, *ap_id)?;
                 aps[*ap_id as usize]
                     .report_failure(*ap_id)
                     .map_err(wire_err)?;
@@ -369,6 +412,33 @@ pub fn replay_wire(
             // Reaper-driven events cannot be injected over the wire; the
             // server's own reaper owns that clock.
             Event::Tick | Event::IdleReap { .. } | Event::Outcome { .. } => {}
+            Event::Epoch {
+                fingerprint, op, ..
+            } => {
+                let (next, _mapping) = apply_epoch(&system, op, *fingerprint)?;
+                let info = app.reconfigure(op).map_err(wire_err)?;
+                if info.fingerprint != *fingerprint {
+                    return Err(JournalError::ConfigMismatch {
+                        expected: *fingerprint,
+                        got: info.fingerprint,
+                    });
+                }
+                // Mirror the AP-process fleet: the removed AP's uplink
+                // goes away, a joining AP dials in fresh.
+                match *op {
+                    TopologyOp::Remove { ap_id } => {
+                        aps.remove(ap_id as usize);
+                    }
+                    TopologyOp::Add { .. } => {
+                        aps.push(
+                            ApClient::connect_with(addr, cfg, Encoding::LosslessDelta)
+                                .map_err(wire_err)?,
+                        );
+                    }
+                    TopologyOp::Move { .. } => {}
+                }
+                system = next;
+            }
             Event::Query { key, .. } => {
                 report.queries += 1;
                 let recorded = outcomes.get(&record.seq).copied();

@@ -71,7 +71,7 @@ pub struct Recorder {
     t0: Instant,
     state: Mutex<WriterState>,
     bytes_total: Arc<Counter>,
-    records: [Arc<Counter>; 6],
+    records: [Arc<Counter>; 7],
     rotations: Arc<Counter>,
     write_errors: Arc<Counter>,
     segment_bytes_gauge: Arc<Gauge>,
@@ -124,6 +124,7 @@ impl Recorder {
                 labelled("failure"),
                 labelled("tick"),
                 labelled("idle_reap"),
+                labelled("epoch"),
             ],
             rotations: reg.counter(names::REPLAY_SEGMENTS_ROTATED_TOTAL, &[]),
             write_errors: reg.counter(names::REPLAY_WRITE_ERRORS_TOTAL, &[]),
@@ -176,6 +177,7 @@ impl Recorder {
             Event::Failure { .. } => 3,
             Event::Tick => 4,
             Event::IdleReap { .. } => 5,
+            Event::Epoch { .. } => 6,
         };
         &self.records[idx]
     }
@@ -284,6 +286,14 @@ impl RecordTap for Recorder {
     fn idle_reap(&self, keys: &[ClientKey]) {
         self.append(Event::IdleReap {
             keys: keys.to_vec(),
+        });
+    }
+
+    fn epoch_change(&self, epoch: u64, fingerprint: u64, op: &at_config::TopologyOp) {
+        self.append(Event::Epoch {
+            epoch,
+            fingerprint,
+            op: *op,
         });
     }
 }

@@ -113,6 +113,19 @@ impl From<ReadError> for ClientError {
     }
 }
 
+/// The server's topology as received over the wire (protocol v5): the
+/// current epoch number, the canonical `at-config` fingerprint of its
+/// system config, and the live AP poses in deployment-id order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteTopology {
+    /// Topology epoch (0 = the config the server started with).
+    pub epoch: u64,
+    /// Canonical fingerprint of the epoch's system config.
+    pub fingerprint: u64,
+    /// AP poses, indexed by the wire protocol's `ap_id`.
+    pub poses: Vec<at_core::synthesis::ApPose>,
+}
+
 /// A location fix as received over the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RemoteFix {
@@ -295,6 +308,48 @@ impl Client {
         match Self::common(reply)? {
             Frame::MetricsReport { text } => Ok(text),
             _ => Err(ClientError::Unexpected("wanted MetricsReport")),
+        }
+    }
+
+    /// Asks the server for its current topology epoch (protocol v5).
+    /// Read-only and role-neutral, like [`Client::metrics`].
+    pub fn topology(&mut self) -> Result<RemoteTopology, ClientError> {
+        let reply = self.request(&Frame::TopologyQuery)?;
+        match Self::common(reply)? {
+            Frame::TopologyInfo {
+                epoch,
+                fingerprint,
+                poses,
+            } => Ok(RemoteTopology {
+                epoch,
+                fingerprint,
+                poses,
+            }),
+            _ => Err(ClientError::Unexpected("wanted TopologyInfo")),
+        }
+    }
+
+    /// Applies one topology operation on the live server (protocol v5):
+    /// add, remove, or move an AP. The server drains in-flight requests
+    /// onto the old epoch, swaps, and answers with the new topology; an
+    /// invalid op is refused with a `ProtocolError` (`BAD_CONFIG`) and
+    /// the epoch is unchanged.
+    pub fn reconfigure(
+        &mut self,
+        op: &at_config::TopologyOp,
+    ) -> Result<RemoteTopology, ClientError> {
+        let reply = self.request(&Frame::Reconfigure { op: *op })?;
+        match Self::common(reply)? {
+            Frame::TopologyInfo {
+                epoch,
+                fingerprint,
+                poses,
+            } => Ok(RemoteTopology {
+                epoch,
+                fingerprint,
+                poses,
+            }),
+            _ => Err(ClientError::Unexpected("wanted TopologyInfo")),
         }
     }
 
@@ -485,6 +540,11 @@ impl ApClient {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         self.inner.metrics()
     }
+
+    /// Asks the server for its current topology (role-neutral, v5).
+    pub fn topology(&mut self) -> Result<RemoteTopology, ClientError> {
+        self.inner.topology()
+    }
 }
 
 /// The query role: an application connection asking "where is key K?"
@@ -527,5 +587,19 @@ impl AppClient {
     /// Scrapes the server's live metrics (role-neutral, protocol v4).
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         self.inner.metrics()
+    }
+
+    /// Asks the server for its current topology (role-neutral, v5).
+    pub fn topology(&mut self) -> Result<RemoteTopology, ClientError> {
+        self.inner.topology()
+    }
+
+    /// Applies one topology operation on the live server (role-neutral,
+    /// v5); see [`Client::reconfigure`].
+    pub fn reconfigure(
+        &mut self,
+        op: &at_config::TopologyOp,
+    ) -> Result<RemoteTopology, ClientError> {
+        self.inner.reconfigure(op)
     }
 }

@@ -42,7 +42,9 @@ pub mod server;
 pub mod store;
 
 pub use batch::{AdaptivePolicy, BatchController, BatchPolicy, BATCH_WINDOW_GAUGE};
-pub use client::{ApClient, AppClient, Client, ClientConfig, ClientError, RemoteFix};
+pub use client::{
+    ApClient, AppClient, Client, ClientConfig, ClientError, RemoteFix, RemoteTopology,
+};
 pub use codec::{CodecError, CompressedMode, Encoding};
 pub use proto::{ApHealthReport, ClientKey, DecodeError, Frame, ReadError};
 pub use server::{

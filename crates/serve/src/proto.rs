@@ -37,7 +37,10 @@
 //! replays new type bytes fails loudly at the framing layer.
 
 use crate::codec::{self, CompressedMode};
+use at_channel::geometry::pt;
+use at_config::TopologyOp;
 use at_core::health::{ApStatus, LocalizeError};
+use at_core::synthesis::ApPose;
 use at_core::AoaSpectrum;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -49,11 +52,13 @@ pub const MAGIC: [u8; 2] = *b"AT";
 /// split ([`Frame::SubmitKeyed`], [`Frame::LocalizeKey`]); version 3
 /// added the compressed uplink ([`Frame::SubmitCompressed`],
 /// [`Frame::SubmitCompressedKeyed`]); version 4 added the read-only
-/// metrics scrape ([`Frame::MetricsQuery`], [`Frame::MetricsReport`]).
+/// metrics scrape ([`Frame::MetricsQuery`], [`Frame::MetricsReport`]);
+/// version 5 added live topology administration ([`Frame::Reconfigure`],
+/// [`Frame::TopologyQuery`], [`Frame::TopologyInfo`]).
 /// Versions outside [`MIN_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`DecodeError::BadVersion`] so incompatible peers fail loudly, not
 /// subtly.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 
 /// Oldest protocol version still decoded. Version-1 peers keep working:
 /// every pre-keyed frame type is unchanged on the wire.
@@ -252,6 +257,35 @@ pub enum Frame {
         /// Prometheus text exposition of the snapshot.
         text: String,
     },
+    /// Admin → server (version 5): change the deployment topology on a
+    /// live server — add, remove, or move one AP. The server drains
+    /// in-flight localizes onto the old epoch, rebuilds for the new one
+    /// (reusing per-AP steering grids for unchanged APs), remaps the
+    /// session store and health tracker, and answers with
+    /// [`Frame::TopologyInfo`] describing the new epoch. An invalid op
+    /// (bad AP id, removing the last AP, non-finite pose) is refused with
+    /// a typed [`Frame::ProtocolError`] and leaves the epoch untouched.
+    Reconfigure {
+        /// The topology change to apply.
+        op: TopologyOp,
+    },
+    /// Any client → server (version 5): ask which topology epoch the
+    /// server is on. Read-only and role-neutral like
+    /// [`Frame::MetricsQuery`]; answered with [`Frame::TopologyInfo`].
+    TopologyQuery,
+    /// Server → client (version 5): the current topology — epoch counter,
+    /// the epoch's canonical config fingerprint (see
+    /// `at_config::SystemConfig::fingerprint`), and the AP poses in
+    /// deployment-id order.
+    TopologyInfo {
+        /// Monotonic epoch counter (0 = the config the server started
+        /// with).
+        epoch: u64,
+        /// Fingerprint of the epoch's canonical `SystemConfig` bytes.
+        fingerprint: u64,
+        /// AP poses, indexed by deployment AP id.
+        poses: Vec<ApPose>,
+    },
 }
 
 /// Frame-type byte values (requests < 0x80, responses ≥ 0x80).
@@ -266,6 +300,8 @@ mod ft {
     pub const SUBMIT_COMPRESSED: u8 = 0x08;
     pub const SUBMIT_COMPRESSED_KEYED: u8 = 0x09;
     pub const METRICS_QUERY: u8 = 0x0A;
+    pub const RECONFIGURE: u8 = 0x0B;
+    pub const TOPOLOGY_QUERY: u8 = 0x0C;
     pub const SUBMIT_ACK: u8 = 0x81;
     pub const FIX: u8 = 0x82;
     pub const FAILED: u8 = 0x83;
@@ -275,6 +311,7 @@ mod ft {
     pub const PROTOCOL_ERROR: u8 = 0x87;
     pub const SHUTTING_DOWN: u8 = 0x88;
     pub const METRICS_REPORT: u8 = 0x89;
+    pub const TOPOLOGY_INFO: u8 = 0x8A;
 }
 
 /// Longest metrics text a [`Frame::MetricsReport`] can carry: the payload
@@ -454,6 +491,7 @@ fn min_version_for(ty: u8) -> Option<u8> {
         ft::SUBMIT_KEYED | ft::LOCALIZE_KEY => Some(2),
         ft::SUBMIT_COMPRESSED | ft::SUBMIT_COMPRESSED_KEYED => Some(3),
         ft::METRICS_QUERY | ft::METRICS_REPORT => Some(4),
+        ft::RECONFIGURE | ft::TOPOLOGY_QUERY | ft::TOPOLOGY_INFO => Some(5),
         _ => None,
     }
 }
@@ -480,6 +518,9 @@ impl Frame {
             Frame::ShuttingDown => ft::SHUTTING_DOWN,
             Frame::MetricsQuery => ft::METRICS_QUERY,
             Frame::MetricsReport { .. } => ft::METRICS_REPORT,
+            Frame::Reconfigure { .. } => ft::RECONFIGURE,
+            Frame::TopologyQuery => ft::TOPOLOGY_QUERY,
+            Frame::TopologyInfo { .. } => ft::TOPOLOGY_INFO,
         }
     }
 
@@ -556,7 +597,23 @@ impl Frame {
             Frame::ClearSession
             | Frame::DeadlineExceeded
             | Frame::ShuttingDown
-            | Frame::MetricsQuery => {}
+            | Frame::MetricsQuery
+            | Frame::TopologyQuery => {}
+            Frame::Reconfigure { op } => op.encode(out),
+            Frame::TopologyInfo {
+                epoch,
+                fingerprint,
+                poses,
+            } => {
+                push_u64(out, *epoch);
+                push_u64(out, *fingerprint);
+                push_u32(out, poses.len() as u32);
+                for p in poses {
+                    push_f64(out, p.center.x);
+                    push_f64(out, p.center.y);
+                    push_f64(out, p.axis_angle);
+                }
+            }
             Frame::MetricsReport { text } => {
                 let mut n = text.len().min(MAX_METRICS_TEXT);
                 // Truncate on a UTF-8 boundary so the decoder's lossy
@@ -806,6 +863,42 @@ fn decode_payload(version: u8, ty: u8, payload: &[u8]) -> Result<Frame, DecodeEr
         }
         ft::SHUTTING_DOWN => Frame::ShuttingDown,
         ft::METRICS_QUERY => Frame::MetricsQuery,
+        ft::TOPOLOGY_QUERY => Frame::TopologyQuery,
+        ft::RECONFIGURE => {
+            let raw = c.rest();
+            let (op, used) = TopologyOp::decode(raw).map_err(|_| mal("undecodable topology op"))?;
+            if used != raw.len() {
+                return Err(mal("trailing payload bytes"));
+            }
+            Frame::Reconfigure { op }
+        }
+        ft::TOPOLOGY_INFO => {
+            let epoch = c.u64().ok_or(mal("truncated epoch"))?;
+            let fingerprint = c.u64().ok_or(mal("truncated fingerprint"))?;
+            let n = c.u32().ok_or(mal("truncated pose count"))? as usize;
+            // 24 bytes per pose; bound before allocating.
+            if n > payload.len() / 24 || n > at_config::MAX_APS {
+                return Err(mal("pose count exceeds payload"));
+            }
+            let mut poses = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = c.f64().ok_or(mal("truncated pose x"))?;
+                let y = c.f64().ok_or(mal("truncated pose y"))?;
+                let axis_angle = c.f64().ok_or(mal("truncated pose axis"))?;
+                if !(x.is_finite() && y.is_finite() && axis_angle.is_finite()) {
+                    return Err(mal("pose coordinates must be finite"));
+                }
+                poses.push(ApPose {
+                    center: pt(x, y),
+                    axis_angle,
+                });
+            }
+            Frame::TopologyInfo {
+                epoch,
+                fingerprint,
+                poses,
+            }
+        }
         ft::METRICS_REPORT => {
             let n = c.u32().ok_or(mal("truncated text length"))? as usize;
             let raw = c.take(n).ok_or(mal("truncated metrics text"))?;
@@ -1067,6 +1160,41 @@ mod tests {
         roundtrip(Frame::MetricsReport {
             text: "# TYPE at_serve_requests_total counter\nat_serve_requests_total 3\n".into(),
         });
+        roundtrip(Frame::Reconfigure {
+            op: TopologyOp::Add {
+                pose: ApPose {
+                    center: pt(4.25, -1.5),
+                    axis_angle: 0.75,
+                },
+            },
+        });
+        roundtrip(Frame::Reconfigure {
+            op: TopologyOp::Remove { ap_id: 3 },
+        });
+        roundtrip(Frame::Reconfigure {
+            op: TopologyOp::Move {
+                ap_id: 1,
+                pose: ApPose {
+                    center: pt(-2.0, 8.125),
+                    axis_angle: 2.5,
+                },
+            },
+        });
+        roundtrip(Frame::TopologyQuery);
+        roundtrip(Frame::TopologyInfo {
+            epoch: 3,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            poses: vec![
+                ApPose {
+                    center: pt(0.0, 0.0),
+                    axis_angle: 0.0,
+                },
+                ApPose {
+                    center: pt(10.5, 6.25),
+                    axis_angle: 1.5,
+                },
+            ],
+        });
     }
 
     #[test]
@@ -1086,6 +1214,48 @@ mod tests {
                 })
             );
         }
+    }
+
+    #[test]
+    fn topology_frames_are_version_gated() {
+        // The topology trio encodes under v5; every older header is the
+        // typed VersionGated error, never a misparse.
+        let mut bytes = Frame::TopologyQuery.encode();
+        assert_eq!(bytes[2], 5, "topology frames declare v5 on the wire");
+        for old in 1..5u8 {
+            bytes[2] = old;
+            assert_eq!(
+                decode(&bytes),
+                Err(DecodeError::VersionGated {
+                    frame: 0x0C,
+                    got: old,
+                    need: 5,
+                })
+            );
+        }
+        // Legacy frames still encode under their original versions, so
+        // old peers keep working untouched by the bump.
+        assert_eq!(Frame::Ping { token: 1 }.encode()[2], 1);
+        assert_eq!(Frame::MetricsQuery.encode()[2], 4);
+    }
+
+    #[test]
+    fn reconfigure_rejects_garbage_ops() {
+        // A Reconfigure frame whose payload is not a TopologyOp is a typed
+        // Malformed error, not a panic.
+        let mut bytes = Frame::Reconfigure {
+            op: TopologyOp::Remove { ap_id: 0 },
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[HEADER_LEN] = 0xEE; // corrupt the op tag
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::Malformed { frame: 0x0B, .. })
+        ));
+        bytes[HEADER_LEN] = 2; // valid Remove tag, then truncate the id
+        bytes[last] = 0xFF;
+        let _ = decode(&bytes); // any typed result is fine; must not panic
     }
 
     #[test]

@@ -38,19 +38,21 @@ use crate::codec;
 use crate::proto::{self, ApHealthReport, ClientKey, Frame, ReadError, HEADER_LEN};
 use crate::queue::Bounded;
 use crate::store::{SessionPolicy, SessionStore};
+use at_config::{ConfigError, SystemConfig, TopologyOp};
 use at_core::health::{HealthPolicy, HealthTracker};
 use at_core::synthesis::{ApPose, SearchRegion};
 use at_core::{AoaSpectrum, FusedObservation, LocalizationEngine, LocationEstimate};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// What the service localizes against: the deployment geometry and the
-/// degradation policy. Fixed for the server's lifetime (the engine is
-/// precomputed from it once, at spawn).
+/// degradation policy the server *starts* with — topology epoch 0.
+/// [`Frame::Reconfigure`] can change the AP set on a live server; see
+/// [`ServerHandle`] and the `at_config` crate for the epoch semantics.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// AP poses, indexed by the wire protocol's `ap_id`.
@@ -67,18 +69,26 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on an empty deployment, a bin count outside the engine's
-    /// `8..=65536` range, or an inconsistent policy.
-    pub fn validate(&self) {
-        assert!(!self.poses.is_empty(), "a service needs at least one AP");
-        assert!(
-            (8..=(1 << 16)).contains(&self.bins),
-            "bins must be in 8..=65536"
-        );
-        self.policy.validate();
+    /// Validates the configuration: a typed [`ConfigError`] instead of a
+    /// panic, so a bad config arriving over the wire (or from a caller)
+    /// is *refused* cleanly — the server never takes it down.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.to_system(SessionPolicy::default()).validate()
+    }
+
+    /// The canonical [`SystemConfig`] this service config plus a session
+    /// policy describes — the single source every sizing decision
+    /// (engine, health tracker, session store) derives from, and the
+    /// thing the epoch fingerprint is computed over.
+    pub fn to_system(&self, session: SessionPolicy) -> SystemConfig {
+        SystemConfig {
+            poses: self.poses.clone(),
+            region: self.region,
+            bins: self.bins,
+            health: self.policy,
+            session,
+            codec: at_config::CodecDefault::default(),
+        }
     }
 }
 
@@ -172,6 +182,7 @@ struct Stats {
     uplink_raw_bytes: AtomicU64,
     uplink_compressed_bytes: AtomicU64,
     uplink_raw_equiv_bytes: AtomicU64,
+    reconfigures: AtomicU64,
 }
 
 /// A point-in-time copy of the server's request counters.
@@ -211,6 +222,12 @@ pub struct StatsSnapshot {
     /// What the compressed submissions would have cost as raw frames —
     /// the numerator of the compression ratio.
     pub uplink_raw_equiv_bytes: u64,
+    /// Current topology epoch (0 = the config the server started with).
+    pub epoch: u64,
+    /// Topology reconfigurations applied over the server's lifetime.
+    pub reconfigures: u64,
+    /// Keyed sessions evicted because a topology change left them empty.
+    pub sessions_evicted_topology: u64,
 }
 
 /// The capture tap: a sink for every store-mutating event the server
@@ -239,15 +256,46 @@ pub trait RecordTap: Send + Sync {
     fn tick(&self);
     /// The reaper evicted these idle sessions.
     fn idle_reap(&self, keys: &[ClientKey]);
+    /// A topology reconfiguration committed: the server is now on
+    /// `epoch`, whose canonical config fingerprint is `fingerprint`,
+    /// reached by applying `op` to the previous epoch's config. Journaled
+    /// *inside* the epoch swap's exclusive section, so every record
+    /// before it belongs to the old epoch and every record after it to
+    /// the new one — the property replay's bit-exactness rests on.
+    fn epoch_change(&self, epoch: u64, fingerprint: u64, op: &TopologyOp);
+}
+
+/// One topology epoch's immutable state: the config, its fingerprint,
+/// and the engine precomputed from it. Swapped whole (behind
+/// [`Shared::topo`]) by a reconfiguration; everything in here is
+/// read-only once published, so within an epoch every fix is computed
+/// from identical state — the bit-exactness unit.
+struct TopoState {
+    epoch: u64,
+    config: SystemConfig,
+    fingerprint: u64,
+    engine: Arc<LocalizationEngine>,
 }
 
 struct Shared {
-    engine: LocalizationEngine,
-    policy: HealthPolicy,
+    /// The current epoch. Read-locked across every journaled admission
+    /// (tap call + store/queue mutation as one unit), write-locked only
+    /// by the epoch swap — so the journal's record order is exactly the
+    /// order state changed, and replay can reproduce it.
+    topo: RwLock<TopoState>,
     health: Mutex<HealthTracker>,
     store: SessionStore,
-    n_aps: usize,
     draining: AtomicBool,
+    /// True while a reconfiguration is draining in-flight localizes; new
+    /// localizes are shed with [`Frame::Overloaded`] so the drain
+    /// terminates under any offered load.
+    swapping: AtomicBool,
+    /// Localize requests admitted but not yet replied. The epoch swap
+    /// waits for zero before touching state, so no fix ever mixes two
+    /// epochs' engines or store contents.
+    in_flight: AtomicUsize,
+    /// Serializes administrators: one reconfiguration at a time.
+    reconfig: Mutex<()>,
     retry_after_ms: u32,
     stats: Stats,
     tap: Option<Arc<dyn RecordTap>>,
@@ -276,18 +324,42 @@ pub fn spawn_recorded(
     addr: impl ToSocketAddrs,
     tap: Option<Arc<dyn RecordTap>>,
 ) -> io::Result<ServerHandle> {
-    service.validate();
     cfg.validate();
+    // Every sizing decision below — engine, health tracker, session
+    // store — derives from this one canonical config, so the three can
+    // never disagree about the AP count, and the epoch-0 fingerprint
+    // pins exactly what the server started from.
+    let system = service.to_system(cfg.session);
+    system
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
 
+    let n_aps = system.n_aps();
+    let fingerprint = system.fingerprint();
+    let engine = Arc::new(LocalizationEngine::for_epoch(
+        &system.poses,
+        system.region,
+        system.bins,
+        0,
+    ));
+    at_obs::global()
+        .gauge(at_obs::names::SERVE_TOPOLOGY_EPOCH, &[])
+        .set(0.0);
     let shared = Arc::new(Shared {
-        engine: LocalizationEngine::new(&service.poses, service.region, service.bins),
-        policy: service.policy,
-        health: Mutex::new(HealthTracker::new(service.poses.len())),
-        store: SessionStore::new(service.poses.len(), cfg.session),
-        n_aps: service.poses.len(),
+        health: Mutex::new(HealthTracker::new(n_aps)),
+        store: SessionStore::new(n_aps, system.session),
+        topo: RwLock::new(TopoState {
+            epoch: 0,
+            config: system,
+            fingerprint,
+            engine,
+        }),
         draining: AtomicBool::new(false),
+        swapping: AtomicBool::new(false),
+        in_flight: AtomicUsize::new(0),
+        reconfig: Mutex::new(()),
         retry_after_ms: cfg.retry_after_ms,
         stats: Stats::default(),
         tap,
@@ -398,6 +470,9 @@ fn run_reaper(shared: &Shared, stop: &ReaperStop) {
         // real time maps to tick count. Journal before apply, matching
         // the submit path (tap at admission, then the store mutation).
         while now >= next_tick {
+            // Under the topo read guard so the journal record and the
+            // store mutation land on the same side of any epoch swap.
+            let _topo = shared.topo.read().expect("topo poisoned");
             if let Some(tap) = &shared.tap {
                 tap.tick();
             }
@@ -405,6 +480,7 @@ fn run_reaper(shared: &Shared, stop: &ReaperStop) {
             next_tick += policy.refresh_interval;
         }
         if now >= next_reap {
+            let _topo = shared.topo.read().expect("topo poisoned");
             let evicted = shared.store.reap_idle(now);
             if !evicted.is_empty() {
                 if let Some(tap) = &shared.tap {
@@ -446,11 +522,21 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Current topology epoch and its canonical config fingerprint.
+    pub fn epoch(&self) -> (u64, u64) {
+        let topo = self.shared.topo.read().expect("topo poisoned");
+        (topo.epoch, topo.fingerprint)
+    }
+
     /// Current request counters.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.shared.stats;
         let store = self.shared.store.stats();
+        let epoch = self.shared.topo.read().expect("topo poisoned").epoch;
         StatsSnapshot {
+            epoch,
+            reconfigures: s.reconfigures.load(Ordering::Relaxed),
+            sessions_evicted_topology: store.evicted_topology,
             connections: s.connections.load(Ordering::Relaxed),
             requests: s.requests.load(Ordering::Relaxed),
             shed: s.shed.load(Ordering::Relaxed),
@@ -545,6 +631,10 @@ pub mod errcode {
     /// connection issued `LocalizeKey`, or a query connection issued
     /// `SubmitKeyed`.
     pub const ROLE_MISMATCH: u8 = 3;
+    /// A `Reconfigure` op would produce an invalid topology (bad AP id,
+    /// removing the last AP, non-finite pose). The op was refused and
+    /// the epoch is unchanged.
+    pub const BAD_CONFIG: u8 = 4;
 }
 
 /// What a connection has declared itself to be. The first keyed frame
@@ -683,13 +773,15 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                 age,
                 spectrum,
             } => {
-                if (ap_id as usize) >= shared.n_aps {
+                // Validate against the *current* epoch's AP set; the
+                // guard keeps the check and the health report on the
+                // same side of any concurrent reconfiguration.
+                let topo = shared.topo.read().expect("topo poisoned");
+                let n_aps = topo.config.n_aps();
+                if (ap_id as usize) >= n_aps {
                     Frame::ProtocolError {
                         code: errcode::BAD_AP,
-                        message: format!(
-                            "ap {ap_id} out of range (deployment has {})",
-                            shared.n_aps
-                        ),
+                        message: format!("ap {ap_id} out of range (deployment has {n_aps})"),
                     }
                 } else {
                     shared
@@ -715,30 +807,35 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
             } => {
                 if role == Role::App {
                     role_mismatch("ingestion", "app")
-                } else if (ap_id as usize) >= shared.n_aps {
-                    Frame::ProtocolError {
-                        code: errcode::BAD_AP,
-                        message: format!(
-                            "ap {ap_id} out of range (deployment has {})",
-                            shared.n_aps
-                        ),
-                    }
                 } else {
-                    role = Role::Ingest;
-                    if let Some(tap) = &shared.tap {
-                        tap.submit(key, ap_id, age, &spectrum);
-                    }
-                    shared
-                        .health
-                        .lock()
-                        .expect("health poisoned")
-                        .report_success(ap_id as usize);
-                    let observations =
+                    // One topo read guard around the id check, the
+                    // journal record, and the store mutation: the
+                    // journal's order is the order the store changed,
+                    // and a swap can never interleave.
+                    let topo = shared.topo.read().expect("topo poisoned");
+                    let n_aps = topo.config.n_aps();
+                    if (ap_id as usize) >= n_aps {
+                        Frame::ProtocolError {
+                            code: errcode::BAD_AP,
+                            message: format!("ap {ap_id} out of range (deployment has {n_aps})"),
+                        }
+                    } else {
+                        role = Role::Ingest;
+                        if let Some(tap) = &shared.tap {
+                            tap.submit(key, ap_id, age, &spectrum);
+                        }
                         shared
-                            .store
-                            .submit(key, ap_id as usize, age, Arc::new(spectrum));
-                    Frame::SubmitAck {
-                        observations: observations as u32,
+                            .health
+                            .lock()
+                            .expect("health poisoned")
+                            .report_success(ap_id as usize);
+                        let observations =
+                            shared
+                                .store
+                                .submit(key, ap_id as usize, age, Arc::new(spectrum));
+                        Frame::SubmitAck {
+                            observations: observations as u32,
+                        }
                     }
                 }
             }
@@ -747,26 +844,19 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
                     role_mismatch("query", "ingest")
                 } else {
                     role = Role::App;
-                    let query_seq = shared.tap.as_ref().map(|t| t.query(key, deadline_ms));
                     // An unknown (never-submitted or evicted) key fuses an
                     // empty observation set: the normal path answers with
                     // the typed `NoObservations` error.
-                    let obs = keyed_obs(shared, key);
-                    let reply = handle_localize(shared, admission, obs, deadline_ms);
-                    if let (Some(tap), Some(seq)) = (&shared.tap, query_seq) {
-                        tap.outcome(seq, &reply);
-                    }
-                    reply
+                    handle_localize(shared, admission, LocalizeSource::Keyed(key), deadline_ms)
                 }
             }
             Frame::ReportFailure { ap_id } => {
-                if (ap_id as usize) >= shared.n_aps {
+                let topo = shared.topo.read().expect("topo poisoned");
+                let n_aps = topo.config.n_aps();
+                if (ap_id as usize) >= n_aps {
                     Frame::ProtocolError {
                         code: errcode::BAD_AP,
-                        message: format!(
-                            "ap {ap_id} out of range (deployment has {})",
-                            shared.n_aps
-                        ),
+                        message: format!("ap {ap_id} out of range (deployment has {n_aps})"),
                     }
                 } else {
                     if let Some(tap) = &shared.tap {
@@ -792,9 +882,21 @@ fn run_conn(mut stream: TcpStream, shared: &Shared, admission: &Bounded<Job>) {
             Frame::MetricsQuery => Frame::MetricsReport {
                 text: at_obs::global().snapshot().to_prometheus(),
             },
-            Frame::Localize { deadline_ms } => {
-                handle_localize(shared, admission, session.clone(), deadline_ms)
+            Frame::TopologyQuery => {
+                let topo = shared.topo.read().expect("topo poisoned");
+                Frame::TopologyInfo {
+                    epoch: topo.epoch,
+                    fingerprint: topo.fingerprint,
+                    poses: topo.config.poses.clone(),
+                }
             }
+            Frame::Reconfigure { op } => handle_reconfigure(shared, op),
+            Frame::Localize { deadline_ms } => handle_localize(
+                shared,
+                admission,
+                LocalizeSource::Legacy(session.clone()),
+                deadline_ms,
+            ),
             // Response-type frames are never valid requests.
             _ => Frame::ProtocolError {
                 code: errcode::NOT_A_REQUEST,
@@ -826,47 +928,164 @@ fn keyed_obs(shared: &Shared, key: ClientKey) -> Vec<SessionObs> {
         .unwrap_or_default()
 }
 
+/// Where a localize request's observations come from: a legacy (v1)
+/// connection's private session, or the keyed store (snapshotted *under
+/// the topo read guard*, together with the journal record, so the
+/// snapshot and the journal agree about which epoch the query saw).
+enum LocalizeSource {
+    Legacy(Vec<SessionObs>),
+    Keyed(ClientKey),
+}
+
+fn shed(shared: &Shared) -> Frame {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    at_obs::count!("at_serve_shed_total");
+    if shared.draining.load(Ordering::Acquire) {
+        Frame::ShuttingDown
+    } else {
+        Frame::Overloaded {
+            retry_after_ms: shared.retry_after_ms,
+        }
+    }
+}
+
 fn handle_localize(
     shared: &Shared,
     admission: &Bounded<Job>,
-    obs: Vec<SessionObs>,
+    source: LocalizeSource,
     deadline_ms: u32,
 ) -> Frame {
-    let _t = at_obs::time_stage!(
-        at_obs::stages::SERVE_REQUEST,
-        "observations" => obs.len(),
-    );
+    let _t = at_obs::time_stage!(at_obs::stages::SERVE_REQUEST);
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     at_obs::count!("at_serve_requests_total");
     if shared.draining.load(Ordering::Acquire) {
         return Frame::ShuttingDown;
     }
+    // A reconfiguration is draining the pipeline: refuse before touching
+    // the topo lock so the drain terminates under any offered load (a
+    // shed request is retried by the client after the swap).
+    if shared.swapping.load(Ordering::Acquire) {
+        return shed(shared);
+    }
     let deadline =
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    let job = Job {
-        obs,
-        deadline,
-        enqueued: Instant::now(),
-        reply: reply_tx,
-    };
-    match admission.try_push(job) {
-        Ok(()) => match reply_rx.recv() {
-            Ok(frame) => frame,
-            // The pipeline dropped the job mid-shutdown without answering.
-            Err(_) => Frame::ShuttingDown,
-        },
-        Err(_refused) => {
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            at_obs::count!("at_serve_shed_total");
-            if shared.draining.load(Ordering::Acquire) {
-                Frame::ShuttingDown
-            } else {
-                Frame::Overloaded {
-                    retry_after_ms: shared.retry_after_ms,
+    // Admission happens under the topo read guard: the journal record,
+    // the store snapshot, and the queue push (with its in-flight credit)
+    // are one atomic unit with respect to an epoch swap, so a query
+    // journaled before the epoch record also *executed* before it.
+    let admitted = {
+        let _topo = shared.topo.read().expect("topo poisoned");
+        if shared.swapping.load(Ordering::Acquire) {
+            // The flag rose between the check above and the guard.
+            None
+        } else {
+            let (obs, query_seq) = match source {
+                LocalizeSource::Legacy(obs) => (obs, None),
+                LocalizeSource::Keyed(key) => {
+                    let seq = shared.tap.as_ref().map(|t| t.query(key, deadline_ms));
+                    (keyed_obs(shared, key), seq)
+                }
+            };
+            let job = Job {
+                obs,
+                deadline,
+                enqueued: Instant::now(),
+                reply: reply_tx,
+            };
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            match admission.try_push(job) {
+                Ok(()) => Some(query_seq),
+                Err(_refused) => {
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    None
                 }
             }
         }
+    };
+    match admitted {
+        Some(query_seq) => {
+            let reply = match reply_rx.recv() {
+                Ok(frame) => frame,
+                // The pipeline dropped the job mid-shutdown unanswered.
+                Err(_) => Frame::ShuttingDown,
+            };
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if let (Some(tap), Some(seq)) = (&shared.tap, query_seq) {
+                tap.outcome(seq, &reply);
+            }
+            reply
+        }
+        None => shed(shared),
+    }
+}
+
+/// Applies a topology change to the live server: validate and build the
+/// new epoch *outside* all locks (the engine's per-AP grid cache makes
+/// unchanged APs a memcpy), shed-and-drain the localize pipeline, then
+/// swap — journal record, store remap, health remap, and the topo
+/// publish in one exclusive section. In-flight requests finish on the
+/// old epoch; requests admitted after see only the new one.
+fn handle_reconfigure(shared: &Shared, op: TopologyOp) -> Frame {
+    // One administrator at a time; concurrent ops queue here.
+    let _admin = shared.reconfig.lock().expect("reconfig poisoned");
+    let (new_config, mapping, new_epoch) = {
+        let topo = shared.topo.read().expect("topo poisoned");
+        match topo.config.apply(&op) {
+            Ok((config, mapping)) => (config, mapping, topo.epoch + 1),
+            Err(e) => {
+                // Refused cleanly: typed error over the wire, epoch
+                // untouched, connection stays usable.
+                return Frame::ProtocolError {
+                    code: errcode::BAD_CONFIG,
+                    message: e.to_string(),
+                };
+            }
+        }
+    };
+    let fingerprint = new_config.fingerprint();
+    // The expensive part, outside every lock: serving continues on the
+    // old epoch while the new engine assembles from cached grids.
+    let engine = Arc::new(LocalizationEngine::for_epoch(
+        &new_config.poses,
+        new_config.region,
+        new_config.bins,
+        new_epoch,
+    ));
+    // Drain: new localizes shed from here on, so in-flight reaches zero.
+    shared.swapping.store(true, Ordering::SeqCst);
+    while shared.in_flight.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_micros(50));
+    }
+    {
+        let mut topo = shared.topo.write().expect("topo poisoned");
+        if let Some(tap) = &shared.tap {
+            tap.epoch_change(new_epoch, fingerprint, &op);
+        }
+        shared.store.remap(&mapping.old_to_new, mapping.n_new);
+        shared
+            .health
+            .lock()
+            .expect("health poisoned")
+            .remap(&mapping.old_to_new, mapping.n_new);
+        *topo = TopoState {
+            epoch: new_epoch,
+            config: new_config,
+            fingerprint,
+            engine,
+        };
+    }
+    shared.swapping.store(false, Ordering::SeqCst);
+    shared.stats.reconfigures.fetch_add(1, Ordering::Relaxed);
+    at_obs::count!("at_serve_reconfigures_total");
+    at_obs::global()
+        .gauge(at_obs::names::SERVE_TOPOLOGY_EPOCH, &[])
+        .set(new_epoch as f64);
+    let topo = shared.topo.read().expect("topo poisoned");
+    Frame::TopologyInfo {
+        epoch: topo.epoch,
+        fingerprint: topo.fingerprint,
+        poses: topo.config.poses.clone(),
     }
 }
 
@@ -930,6 +1149,14 @@ fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
         if live.is_empty() {
             continue;
         }
+        // Pin the epoch for the whole batch: engine and policy from one
+        // topo read. A swap cannot run concurrently (it drains in-flight
+        // first), so this is always the epoch the batch was admitted
+        // under.
+        let (engine, policy) = {
+            let topo = shared.topo.read().expect("topo poisoned");
+            (Arc::clone(&topo.engine), topo.config.health)
+        };
         // One health snapshot per batch: every request of a batch is
         // judged under the same deployment state.
         let health = shared.health.lock().expect("health poisoned").clone();
@@ -949,14 +1176,7 @@ fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
             .collect();
         let queries: Vec<&[FusedObservation<'_>]> = fused.iter().map(Vec::as_slice).collect();
         // Workers are the parallelism; each sweep runs single-threaded.
-        at_core::fuse_batch_into(
-            &shared.engine,
-            &queries,
-            &health,
-            &shared.policy,
-            1,
-            &mut results,
-        );
+        at_core::fuse_batch_into(&engine, &queries, &health, &policy, 1, &mut results);
         drop(queries);
         drop(fused);
         for (job, result) in live.iter().zip(results.drain(..)) {
@@ -964,7 +1184,7 @@ fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
                 Ok(estimate) => {
                     shared.stats.fixes.fetch_add(1, Ordering::Relaxed);
                     at_obs::count!("at_serve_responses_total", "result" => "fix");
-                    fix_frame(shared, &health, &job.obs, estimate)
+                    fix_frame(&policy, &health, &job.obs, estimate)
                 }
                 Err(error) => {
                     shared.stats.failures.fetch_add(1, Ordering::Relaxed);
@@ -980,7 +1200,7 @@ fn run_worker(exec: &Bounded<Vec<Job>>, shared: &Shared) {
 /// Builds a [`Frame::Fix`] carrying the health of every AP the session
 /// cited, as judged by the snapshot the fusion actually used.
 fn fix_frame(
-    shared: &Shared,
+    policy: &HealthPolicy,
     health: &HealthTracker,
     obs: &[SessionObs],
     estimate: LocationEstimate,
@@ -992,7 +1212,7 @@ fn fix_frame(
         .into_iter()
         .map(|ap| ApHealthReport {
             ap_id: ap,
-            status: health.status(ap as usize, &shared.policy),
+            status: health.status(ap as usize, policy),
             consecutive_failures: health.consecutive_failures(ap as usize),
         })
         .collect();

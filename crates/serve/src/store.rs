@@ -35,61 +35,14 @@ use at_core::AoaSpectrum;
 use at_obs::metrics::{Counter, Gauge};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Residency and eviction policy of the session store.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SessionPolicy {
-    /// A session untouched (no submit, no query) for longer than this is
-    /// evicted by the reaper.
-    pub idle_timeout: Duration,
-    /// Hard cap on spectra resident across all sessions; an insert over
-    /// the cap evicts the least-recently-touched *other* session first.
-    /// Must be at least the deployment's AP count (one full session).
-    pub max_resident_spectra: usize,
-    /// Cadence of the background reaper's idle sweep.
-    pub reap_interval: Duration,
-    /// Length of one staleness refresh interval: every elapsed interval
-    /// ages every resident spectrum by one, feeding
-    /// `HealthPolicy::max_spectrum_age`.
-    pub refresh_interval: Duration,
-    /// Shard count (keys hash across shards; more shards, less writer
-    /// contention).
-    pub shards: usize,
-}
-
-impl Default for SessionPolicy {
-    fn default() -> Self {
-        Self {
-            idle_timeout: Duration::from_secs(60),
-            max_resident_spectra: 1 << 16,
-            reap_interval: Duration::from_millis(250),
-            refresh_interval: Duration::from_secs(1),
-            shards: 16,
-        }
-    }
-}
-
-impl SessionPolicy {
-    /// Validates the policy.
-    ///
-    /// # Panics
-    /// Panics on a zero cap, zero shard count, or zero intervals.
-    pub fn validate(&self) {
-        assert!(self.max_resident_spectra >= 1, "the cap must admit spectra");
-        assert!(self.shards >= 1, "the store needs at least one shard");
-        assert!(
-            !self.reap_interval.is_zero() && !self.refresh_interval.is_zero(),
-            "reaper cadences must be non-zero"
-        );
-        assert!(
-            !self.idle_timeout.is_zero(),
-            "idle timeout must be non-zero"
-        );
-    }
-}
+/// Residency and eviction policy — canonically defined in [`at_config`]
+/// (it is part of the system fingerprint) and re-exported here for the
+/// store's callers.
+pub use at_config::SessionPolicy;
 
 /// One AP's spectrum inside a session.
 struct Slot {
@@ -156,24 +109,42 @@ pub struct StoreStats {
     pub evicted_idle: u64,
     /// Sessions evicted by cap pressure.
     pub evicted_cap: u64,
+    /// Sessions evicted because a topology change left them empty (every
+    /// spectrum they held came from departed/moved APs).
+    pub evicted_topology: u64,
+}
+
+/// What a topology remap did to the store's resident state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemapStats {
+    /// Spectra dropped because their AP departed or moved.
+    pub spectra_dropped: u64,
+    /// Sessions evicted because the drop left them empty.
+    pub sessions_evicted: u64,
 }
 
 /// The sharded keyed session store. See the module docs for semantics.
 pub struct SessionStore {
     shards: Vec<Mutex<Shard>>,
     counts: Mutex<Counts>,
-    n_aps: usize,
+    /// Per-session slot width — the *current epoch's* AP count. Written
+    /// only by [`SessionStore::remap`] (under the counts lock, with every
+    /// session rewritten to the new width in the same critical section),
+    /// read by submits.
+    n_aps: AtomicUsize,
     policy: SessionPolicy,
     seq: AtomicU64,
     tick: AtomicU64,
     created: AtomicU64,
     evicted_idle: AtomicU64,
     evicted_cap: AtomicU64,
+    evicted_topology: AtomicU64,
     g_sessions: Arc<Gauge>,
     g_spectra: Arc<Gauge>,
     c_created: Arc<Counter>,
     c_evicted_idle: Arc<Counter>,
     c_evicted_cap: Arc<Counter>,
+    c_evicted_topology: Arc<Counter>,
     c_submits: Arc<Counter>,
 }
 
@@ -195,13 +166,14 @@ impl SessionStore {
         Self {
             shards: (0..policy.shards).map(|_| Mutex::default()).collect(),
             counts: Mutex::default(),
-            n_aps,
+            n_aps: AtomicUsize::new(n_aps),
             policy,
             seq: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             created: AtomicU64::new(0),
             evicted_idle: AtomicU64::new(0),
             evicted_cap: AtomicU64::new(0),
+            evicted_topology: AtomicU64::new(0),
             g_sessions: reg.gauge(at_obs::names::SERVE_SESSIONS_RESIDENT, &[]),
             g_spectra: reg.gauge(at_obs::names::SERVE_SESSIONS_SPECTRA_RESIDENT, &[]),
             c_created: reg.counter(at_obs::names::SERVE_SESSIONS_CREATED_TOTAL, &[]),
@@ -213,6 +185,10 @@ impl SessionStore {
                 at_obs::names::SERVE_SESSIONS_EVICTED_TOTAL,
                 &[("reason", "cap")],
             ),
+            c_evicted_topology: reg.counter(
+                at_obs::names::SERVE_SESSIONS_EVICTED_TOTAL,
+                &[("reason", "topology")],
+            ),
             c_submits: reg.counter(at_obs::names::SERVE_SESSIONS_SUBMITS_TOTAL, &[]),
         }
     }
@@ -220,6 +196,11 @@ impl SessionStore {
     /// The policy the store was built with.
     pub fn policy(&self) -> &SessionPolicy {
         &self.policy
+    }
+
+    /// The current epoch's AP count (per-session slot width).
+    pub fn n_aps(&self) -> usize {
+        self.n_aps.load(Ordering::Acquire)
     }
 
     fn shard_of(&self, key: ClientKey) -> usize {
@@ -247,11 +228,14 @@ impl SessionStore {
         age: u64,
         spectrum: Arc<AoaSpectrum>,
     ) -> usize {
-        assert!(ap_id < self.n_aps, "ap_id out of range");
         let now = Instant::now();
         let tick = self.tick.load(Ordering::Acquire);
         let seq = self.next_seq();
         let mut counts = self.counts.lock().expect("counts poisoned");
+        // Validated under the counts lock so the check and the insert see
+        // the same epoch (remaps rewrite the width inside this lock).
+        let n_aps = self.n_aps();
+        assert!(ap_id < n_aps, "ap_id out of range");
         let (added, created, observations) = {
             let mut shard = self.shards[self.shard_of(key)]
                 .lock()
@@ -260,7 +244,7 @@ impl SessionStore {
                 std::collections::hash_map::Entry::Occupied(e) => (e.into_mut(), false),
                 std::collections::hash_map::Entry::Vacant(e) => (
                     e.insert(Session {
-                        slots: (0..self.n_aps).map(|_| None).collect(),
+                        slots: (0..n_aps).map(|_| None).collect(),
                         spectra: 0,
                         seq,
                         last_touch: now,
@@ -421,6 +405,61 @@ impl SessionStore {
         evicted
     }
 
+    /// Carries the store across a topology epoch. `old_to_new[i]` is the
+    /// new id inheriting old AP `i`'s spectra (`None` drops them — the AP
+    /// departed or moved); `n_new` is the new epoch's AP count. Sessions
+    /// left with zero spectra are evicted (`reason="topology"` on the
+    /// eviction counter): a key served only by a departed AP degrades to
+    /// the same `NoObservations`/`QuorumNotMet` conditions an evicted or
+    /// silent session already produces — a typed refusal, never a panic.
+    ///
+    /// Runs under the counts lock and takes every shard lock in turn, so
+    /// the caller-observable switch from old width to new is atomic with
+    /// respect to submits (which validate `ap_id` under the same counts
+    /// lock).
+    pub fn remap(&self, old_to_new: &[Option<u32>], n_new: usize) -> RemapStats {
+        assert!(n_new >= 1, "an epoch needs at least one AP slot");
+        let mut counts = self.counts.lock().expect("counts poisoned");
+        let mut stats = RemapStats::default();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            shard.sessions.retain(|_, session| {
+                let mut slots: Vec<Option<Slot>> = (0..n_new).map(|_| None).collect();
+                let mut kept = 0usize;
+                for (old, slot) in session.slots.drain(..).enumerate() {
+                    let Some(slot) = slot else { continue };
+                    match old_to_new.get(old).copied().flatten() {
+                        Some(new) if (new as usize) < n_new => {
+                            slots[new as usize] = Some(slot);
+                            kept += 1;
+                        }
+                        _ => stats.spectra_dropped += 1,
+                    }
+                }
+                session.slots = slots;
+                session.spectra = kept;
+                if kept == 0 {
+                    stats.sessions_evicted += 1;
+                }
+                kept > 0
+            });
+        }
+        counts.spectra = counts
+            .spectra
+            .saturating_sub(stats.spectra_dropped as usize);
+        counts.sessions = counts
+            .sessions
+            .saturating_sub(stats.sessions_evicted as usize);
+        self.n_aps.store(n_new, Ordering::Release);
+        if stats.sessions_evicted > 0 {
+            self.evicted_topology
+                .fetch_add(stats.sessions_evicted, Ordering::Relaxed);
+            self.c_evicted_topology.add(stats.sessions_evicted);
+        }
+        self.publish(&counts);
+        stats
+    }
+
     fn publish(&self, counts: &MutexGuard<'_, Counts>) {
         self.g_sessions.set(counts.sessions as f64);
         self.g_spectra.set(counts.spectra as f64);
@@ -435,6 +474,7 @@ impl SessionStore {
             created: self.created.load(Ordering::Relaxed),
             evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
             evicted_cap: self.evicted_cap.load(Ordering::Relaxed),
+            evicted_topology: self.evicted_topology.load(Ordering::Relaxed),
         }
     }
 
@@ -465,7 +505,7 @@ impl SessionStore {
         let _ = writeln!(
             out,
             "session_store n_aps={} tick={} sessions={} spectra={}",
-            self.n_aps,
+            self.n_aps(),
             self.tick(),
             counts.sessions,
             counts.spectra
@@ -515,6 +555,7 @@ impl SessionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn spectrum(level: f64) -> Arc<AoaSpectrum> {
         Arc::new(AoaSpectrum::from_fn(16, |t| t.sin().abs() + level))
@@ -625,5 +666,49 @@ mod tests {
     #[should_panic(expected = "fit one full session")]
     fn cap_below_one_session_is_rejected() {
         SessionStore::new(6, policy(3));
+    }
+
+    #[test]
+    fn remap_moves_drops_and_evicts() {
+        let store = SessionStore::new(3, policy(100));
+        // Session 1 spans APs 0 and 2; session 2 lives only on AP 1.
+        store.submit(1, 0, 0, spectrum(0.1));
+        store.submit(1, 2, 0, spectrum(0.2));
+        store.submit(2, 1, 0, spectrum(0.3));
+        let before = store.snapshot(1).expect("resident");
+        // Remove AP 1: ids 0 and 2 survive as 0 and 1.
+        let stats = store.remap(&[Some(0), None, Some(1)], 2);
+        assert_eq!(stats.spectra_dropped, 1);
+        assert_eq!(stats.sessions_evicted, 1);
+        assert_eq!(store.n_aps(), 2);
+        assert!(store.snapshot(2).is_none(), "AP-1-only session evicted");
+        let after = store.snapshot(1).expect("survives");
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0].ap_id, 0);
+        assert_eq!(after[1].ap_id, 1);
+        // Spectra carried bit-exactly under the new ids.
+        assert!(Arc::ptr_eq(&before[0].spectrum, &after[0].spectrum));
+        assert!(Arc::ptr_eq(&before[1].spectrum, &after[1].spectrum));
+        let s = store.stats();
+        assert_eq!(s.resident_sessions, 1);
+        assert_eq!(s.resident_spectra, 2);
+        assert_eq!(s.evicted_topology, 1);
+        // A joiner widens the store; old spectra keep their ids.
+        store.remap(&[Some(0), Some(1)], 3);
+        assert_eq!(store.n_aps(), 3);
+        store.submit(1, 2, 0, spectrum(0.4));
+        assert_eq!(store.snapshot(1).expect("resident").len(), 3);
+    }
+
+    #[test]
+    fn remap_identity_is_a_noop() {
+        let store = SessionStore::new(2, policy(100));
+        store.submit(7, 0, 0, spectrum(0.5));
+        store.submit(7, 1, 0, spectrum(0.6));
+        let before = store.golden_snapshot();
+        let stats = store.remap(&[Some(0), Some(1)], 2);
+        assert_eq!(stats.spectra_dropped, 0);
+        assert_eq!(stats.sessions_evicted, 0);
+        assert_eq!(store.golden_snapshot(), before);
     }
 }

@@ -18,10 +18,12 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
+use at_config::TopologyOp;
 use at_core::health::HealthPolicy;
 use at_replay::{JournalMeta, Recorder, RecorderConfig, RecorderStats};
 use at_serve::{
-    AppClient, ClientConfig, Encoding, RecordTap, ServeConfig, ServiceConfig, SessionPolicy,
+    ApClient, AppClient, ClientConfig, Encoding, RecordTap, ServeConfig, ServiceConfig,
+    SessionPolicy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,7 +72,7 @@ pub fn golden_session_policy() -> SessionPolicy {
 
 /// The journal meta block the golden scenario records under.
 pub fn golden_meta(service: &ServiceConfig) -> JournalMeta {
-    JournalMeta::for_service(service, GOLDEN_CAP)
+    JournalMeta::for_service(service, golden_session_policy())
 }
 
 fn other_err(e: impl std::fmt::Display) -> io::Error {
@@ -150,4 +152,112 @@ fn query(app: &mut AppClient, key: u64) -> io::Result<()> {
         Ok(_) | Err(at_serve::ClientError::Localize(_)) => Ok(()),
         Err(e) => Err(other_err(e)),
     }
+}
+
+/// Records the reconfiguration scenario into a journal at `dir`: the
+/// golden office deployment taken through a remove → move → re-add epoch
+/// sequence with sessions queried in every epoch, so the committed
+/// fixture under `tests/fixtures/replay_reconfig/` pins the epoch
+/// machinery end to end (journal epoch records, store/health remaps,
+/// per-epoch engine rebuilds) the same way `replay_office` pins the
+/// steady-state pipeline.
+pub fn record_reconfig_golden(dir: &Path, rotate_bytes: u64) -> io::Result<RecorderStats> {
+    let mut dep = golden_deployment();
+    let cfg = golden_experiment();
+    let service = golden_service(&dep, &cfg);
+    let recorder = Arc::new(Recorder::create(
+        dir,
+        golden_meta(&service),
+        RecorderConfig { rotate_bytes },
+    )?);
+    let serve_cfg = ServeConfig {
+        session: golden_session_policy(),
+        ..ServeConfig::default()
+    };
+    let tap: Arc<dyn RecordTap> = recorder.clone();
+    let server = at_serve::spawn_recorded(service, serve_cfg, "127.0.0.1:0", Some(tap))?;
+    let addr = server.addr();
+
+    let client_cfg = ClientConfig::default();
+    let mut aps = ap_clients_with(addr, dep.aps.len(), client_cfg, Encoding::LosslessDelta)
+        .map_err(other_err)?;
+    let mut app = AppClient::connect(addr, client_cfg).map_err(other_err)?;
+    // A distinct stream from the steady-state golden journal, so the two
+    // fixtures exercise different radio noise.
+    let mut rng = StdRng::seed_from_u64(GOLDEN_SEED ^ 0xEC0);
+
+    // Epoch 0: four sessions against the full six-AP deployment.
+    for key in 0..4u64 {
+        submit_position_keyed(
+            &mut aps,
+            key,
+            &dep,
+            dep.clients[key as usize],
+            &cfg,
+            &mut rng,
+        )
+        .map_err(other_err)?;
+    }
+    for key in 0..4u64 {
+        query(&mut app, key)?;
+    }
+
+    // Epoch 1: AP 2 departs mid-service. Resident sessions keep their
+    // five surviving spectra (ids above 2 shift down) and keep fixing on
+    // the surviving quorum; a fresh session sees only five APs.
+    let departed = dep.aps.remove(2);
+    let info = app
+        .reconfigure(&TopologyOp::Remove { ap_id: 2 })
+        .map_err(other_err)?;
+    assert_eq!(info.epoch, 1, "remove must open epoch 1");
+    aps.remove(2);
+    for key in 0..4u64 {
+        query(&mut app, key)?;
+    }
+    submit_position_keyed(&mut aps, 4, &dep, dep.clients[4], &cfg, &mut rng).map_err(other_err)?;
+    query(&mut app, 4)?;
+
+    // Epoch 2: AP 0 is moved half a meter. It keeps its id but starts
+    // cold (old-geometry spectra are reaped), so the next captures
+    // repopulate it against the rebuilt grid.
+    let mut moved_pose = dep.aps[0].pose;
+    moved_pose.center.x += 0.5;
+    dep.aps[0].pose = moved_pose;
+    let info = app
+        .reconfigure(&TopologyOp::Move {
+            ap_id: 0,
+            pose: moved_pose,
+        })
+        .map_err(other_err)?;
+    assert_eq!(info.epoch, 2, "move must open epoch 2");
+    for key in [1u64, 4] {
+        submit_position_keyed(
+            &mut aps,
+            key,
+            &dep,
+            dep.clients[key as usize + 4],
+            &cfg,
+            &mut rng,
+        )
+        .map_err(other_err)?;
+        query(&mut app, key)?;
+    }
+
+    // Epoch 3: the departed AP rejoins cold at the end of the id space,
+    // with its original radio hardware and calibration.
+    let rejoin_pose = departed.pose;
+    dep.aps.push(departed);
+    let info = app
+        .reconfigure(&TopologyOp::Add { pose: rejoin_pose })
+        .map_err(other_err)?;
+    assert_eq!(info.epoch, 3, "re-add must open epoch 3");
+    aps.push(ApClient::connect_with(addr, client_cfg, Encoding::LosslessDelta).map_err(other_err)?);
+    submit_position_keyed(&mut aps, 6, &dep, dep.clients[6], &cfg, &mut rng).map_err(other_err)?;
+    query(&mut app, 6)?;
+    query(&mut app, 0)?;
+
+    drop(aps);
+    drop(app);
+    server.shutdown();
+    Ok(recorder.finish())
 }

@@ -6,6 +6,10 @@
 //!
 //! This facade re-exports the workspace crates under stable module names:
 //!
+//! - [`config`] — the canonical system configuration: `SystemConfig`
+//!   with its canonical byte serialization and fingerprint, topology
+//!   ops (add / remove / move an AP), and the epoch machinery every
+//!   other layer keys off (see DESIGN.md §4l);
 //! - [`linalg`] — complex numbers, matrices, Hermitian eigendecomposition;
 //! - [`dsp`] — 802.11 preamble synthesis, packet detection, AWGN, CFO,
 //!   correlation matrices;
@@ -70,6 +74,7 @@
 #![forbid(unsafe_code)]
 
 pub use at_channel as channel;
+pub use at_config as config;
 pub use at_core as core;
 pub use at_dsp as dsp;
 pub use at_frontend as frontend;

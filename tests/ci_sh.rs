@@ -39,6 +39,7 @@ fn unknown_stage_exits_2_and_lists_the_valid_stage_names() {
         "proto-props",
         "codec",
         "replay",
+        "topology",
         "robustness",
         "serve",
         "serve-sessions",

@@ -96,6 +96,18 @@ fn synthetic_service() -> ServiceConfig {
     }
 }
 
+/// The session policy the synthetic scenario records under: eviction cap
+/// [`SYN_CAP`], wall-clock reaper disabled (hour-scale intervals).
+fn syn_session_policy() -> SessionPolicy {
+    SessionPolicy {
+        idle_timeout: Duration::from_secs(3600),
+        max_resident_spectra: SYN_CAP,
+        reap_interval: Duration::from_secs(3600),
+        refresh_interval: Duration::from_secs(3600),
+        ..SessionPolicy::default()
+    }
+}
+
 fn lobe(
     service: &ServiceConfig,
     ap: usize,
@@ -115,20 +127,14 @@ fn record_synthetic(dir: &Path) -> Journal {
     let recorder = Arc::new(
         Recorder::create(
             dir,
-            JournalMeta::for_service(&service, SYN_CAP),
+            JournalMeta::for_service(&service, syn_session_policy()),
             RecorderConfig {
                 rotate_bytes: u64::MAX,
             },
         )
         .expect("recorder"),
     );
-    let session = SessionPolicy {
-        idle_timeout: Duration::from_secs(3600),
-        max_resident_spectra: SYN_CAP,
-        reap_interval: Duration::from_secs(3600),
-        refresh_interval: Duration::from_secs(3600),
-        ..SessionPolicy::default()
-    };
+    let session = syn_session_policy();
     let tap: Arc<dyn RecordTap> = recorder.clone();
     let server = spawn_recorded(
         service.clone(),
@@ -177,7 +183,7 @@ fn recorded_session_replays_bit_exactly_in_process_and_over_the_wire() {
     assert!(!journal.truncated_tail);
 
     let service = service();
-    let report = replay_in_process(&journal, &service).expect("replay");
+    let report = replay_in_process(&journal, &service, golden_session_policy()).expect("replay");
     assert!(report.compared > 0, "no outcomes were compared");
     assert_eq!(report.divergences, 0, "{:?}", report.divergence_details);
     assert_eq!(report.skipped, 0);
@@ -197,6 +203,7 @@ fn recorded_session_replays_bit_exactly_in_process_and_over_the_wire() {
         &journal,
         &server.addr().to_string(),
         &service,
+        golden_session_policy(),
         &WireOptions {
             pacing: Pacing::Unpaced,
         },
@@ -222,7 +229,8 @@ fn truncated_tail_is_tolerated_and_the_prefix_still_replays() {
     assert!(journal.truncated_tail);
     assert!(journal.records.len() < full.records.len());
 
-    let report = replay_in_process(&journal, &synthetic_service()).expect("prefix replays");
+    let report = replay_in_process(&journal, &synthetic_service(), syn_session_policy())
+        .expect("prefix replays");
     assert!(report.truncated_tail);
     assert_eq!(report.divergences, 0, "{:?}", report.divergence_details);
 }
@@ -269,7 +277,7 @@ fn corruption_and_mismatch_are_typed_errors_not_panics() {
     let mut wrong = synthetic_service();
     wrong.policy.min_quorum += 1;
     assert!(matches!(
-        replay_in_process(&journal, &wrong),
+        replay_in_process(&journal, &wrong, syn_session_policy()),
         Err(JournalError::ConfigMismatch { .. })
     ));
 
